@@ -1,0 +1,243 @@
+// Command rff runs the Reads-From Fuzzer (or one of the baseline
+// concurrency testing tools) on a benchmark program.
+//
+// Usage:
+//
+//	rff list                                   # list benchmark programs
+//	rff run -prog CS/reorder_100 [-tool rff] [-budget 2000] [-seed 1] [-trials 1]
+//	        [-v] [-minimize] [-races] [-out DIR]
+//	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
+//	rff replay -artifact crashes/crash-000.json [-trace]
+//
+// Tools: rff, rff-nofb, pos, pct3, random, qlearn, period, genmc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rff/internal/bench"
+	"rff/internal/campaign"
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/minimize"
+	"rff/internal/race"
+	"rff/internal/report"
+	"rff/internal/sched"
+	"rff/internal/systematic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "run":
+		cmdRun(os.Args[2:])
+	case "explore":
+		cmdExplore(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rff <list|run|explore|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "  rff list")
+	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-v] [-minimize] [-out DIR]")
+	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
+	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
+}
+
+func cmdList() {
+	fmt.Printf("%-50s %-9s %-8s %s\n", "PROGRAM", "SUITE", "BUG", "THREADS")
+	for _, p := range bench.All() {
+		fmt.Printf("%-50s %-9s %-8s %d\n", p.Name, p.Suite, p.Bug, p.Threads)
+	}
+}
+
+func toolByName(name string) (campaign.Tool, bool) {
+	switch name {
+	case "rff":
+		return campaign.RFFTool{}, true
+	case "rff-nofb":
+		return campaign.RFFTool{NoFeedback: true}, true
+	case "pos":
+		return campaign.NewPOSTool(), true
+	case "pct3":
+		return campaign.NewPCTTool(3), true
+	case "random":
+		return campaign.NewRandomTool(), true
+	case "qlearn":
+		return campaign.NewQLearnTool(), true
+	case "period":
+		return campaign.PeriodTool{}, true
+	case "genmc":
+		return campaign.GenMCTool{}, true
+	}
+	return nil, false
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	prog := fs.String("prog", "", "benchmark program name (see `rff list`)")
+	tool := fs.String("tool", "rff", "testing tool")
+	budget := fs.Int("budget", 2000, "schedule budget per trial")
+	seed := fs.Int64("seed", 1, "base random seed")
+	trials := fs.Int("trials", 1, "number of trials")
+	maxSteps := fs.Int("maxsteps", 0, "per-execution step budget (0 = default)")
+	verbose := fs.Bool("v", false, "print the failing schedule details (rff tool only)")
+	doMin := fs.Bool("minimize", false, "delta-debug the failing schedule to minimal context switches (rff tool only)")
+	outDir := fs.String("out", "", "directory to write crash artifacts to (rff tool only)")
+	races := fs.Bool("races", false, "run the happens-before race detector over every execution (rff tool only)")
+	fs.Parse(args)
+
+	p, ok := bench.Get(*prog)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rff: unknown program %q (see `rff list`)\n", *prog)
+		os.Exit(1)
+	}
+	tl, ok := toolByName(*tool)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rff: unknown tool %q\n", *tool)
+		os.Exit(1)
+	}
+
+	if (*verbose || *doMin || *outDir != "" || *races) && *tool == "rff" {
+		raceKeys := make(map[string]struct{})
+		opts := core.Options{
+			Budget: *budget, Seed: *seed, MaxSteps: *maxSteps, StopAtFirstBug: true,
+		}
+		if *races {
+			opts.TraceObserver = func(t *exec.Trace) {
+				for _, k := range race.DistinctKeys(race.Detect(t)) {
+					raceKeys[k] = struct{}{}
+				}
+			}
+		}
+		rep := core.NewFuzzer(p.Name, p.Body, opts).Run()
+		if *races {
+			defer func() {
+				keys := make([]string, 0, len(raceKeys))
+				for k := range raceKeys {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				fmt.Printf("  data races (happens-before, %d distinct):\n", len(keys))
+				for _, k := range keys {
+					fmt.Printf("    %s\n", k)
+				}
+			}()
+		}
+		if !rep.FoundBug() {
+			fmt.Printf("%s: no bug in %d schedules (%d rf pairs, %d combos, corpus %d)\n",
+				p.Name, rep.Executions, rep.UniquePairs, rep.UniqueSigs, rep.CorpusSize)
+			return
+		}
+		f := rep.Failures[0]
+		fmt.Printf("%s: bug at schedule %d\n", p.Name, rep.FirstBug)
+		fmt.Printf("  failure:  %v\n", f.Failure)
+		fmt.Printf("  abstract: %v\n", f.Schedule)
+		fmt.Printf("  seed:     %d\n", f.Seed)
+		if *doMin {
+			res := minimize.Minimize(p.Name, p.Body, f.Decisions, f.Failure, minimize.Options{MaxSteps: *maxSteps})
+			if res == nil {
+				fmt.Println("  minimize: original schedule did not reproduce")
+				return
+			}
+			fmt.Printf("  minimize: %d -> %d context switches (%d preemptions) in %d probes\n",
+				res.OriginalSwitches, res.MinimalSwitches, res.Preemptions, res.Probes)
+			for _, sw := range res.Switches {
+				fmt.Printf("    after t%d's event %d -> run t%d\n", sw.After, sw.Count, sw.Thread)
+			}
+		}
+		if *outDir != "" {
+			paths, err := core.SaveFailures(*outDir, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rff: saving artifacts: %v\n", err)
+				os.Exit(1)
+			}
+			for _, path := range paths {
+				fmt.Printf("  artifact: %s\n", path)
+			}
+		}
+		return
+	}
+
+	found := 0
+	for tr := 0; tr < *trials; tr++ {
+		out := tl.Run(p, *budget, *maxSteps, *seed+int64(tr)*7919)
+		if out.Found() {
+			found++
+			fmt.Printf("trial %d: %s found the bug after %d schedules\n", tr+1, tl.Name(), out.FirstBug)
+		} else {
+			fmt.Printf("trial %d: %s found no bug in %d schedules\n", tr+1, tl.Name(), out.Executions)
+		}
+		if tl.Deterministic() {
+			break
+		}
+	}
+	fmt.Printf("%s on %s: %d/%d trials found the bug\n", tl.Name(), p.Name, found, *trials)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	artifact := fs.String("artifact", "", "crash artifact JSON (from `rff run -out`)")
+	showTrace := fs.Bool("trace", false, "dump the replayed event trace")
+	fs.Parse(args)
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "rff replay: -artifact is required")
+		os.Exit(2)
+	}
+	a, err := core.LoadArtifact(*artifact)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	p, ok := bench.Get(a.Program)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rff: artifact references unknown program %q\n", a.Program)
+		os.Exit(1)
+	}
+	res := exec.Run(p.Name, p.Body, exec.Config{Scheduler: sched.NewReplay(a.ThreadOrder())})
+	if res.Failure == nil {
+		fmt.Printf("%s: replay did NOT reproduce (expected %s: %s)\n", a.Program, a.FailureKind, a.FailureMsg)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: reproduced %v\n", a.Program, res.Failure)
+	if *showTrace {
+		fmt.Print(report.Timeline(res.Trace))
+	}
+}
+
+func cmdExplore(args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	prog := fs.String("prog", "", "benchmark program name")
+	budget := fs.Int("budget", 100000, "max schedules to enumerate")
+	fs.Parse(args)
+	p, ok := bench.Get(*prog)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rff: unknown program %q\n", *prog)
+		os.Exit(1)
+	}
+	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{MaxExecutions: *budget})
+	status := "INCOMPLETE (budget exhausted)"
+	if rep.Complete {
+		status = "complete"
+	}
+	fmt.Printf("%s: %d schedules enumerated (%s), %d reads-from classes\n",
+		p.Name, rep.Executions, status, rep.Classes)
+	if rep.FirstBug > 0 {
+		fmt.Printf("first bug at schedule %d: %v\n", rep.FirstBug, rep.FirstFailure)
+	} else {
+		fmt.Println("no bug found")
+	}
+}

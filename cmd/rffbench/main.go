@@ -1,0 +1,304 @@
+// Command rffbench regenerates the paper's evaluation artifacts:
+//
+//	rffbench table-b  [-trials 5] [-budget 2000]      # Appendix B table (E2)
+//	rffbench fig4     [-trials 5] [-budget 2000]      # Figure 4 curves (E1)
+//	rffbench fig5     [-n 10000] [-prog SafeStack]    # Figure 5 histograms (E3, E6)
+//	rffbench rq1      [-trials 5] [-budget 2000]      # bugs-found comparison + Mann-Whitney
+//	rffbench rq2      [-trials 5] [-budget 2000]      # RFF vs POS ablation + log-rank wins
+//	rffbench rq4      [-trials 5] [-budget 2000]      # Q-Learning-RF comparison
+//	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
+//
+// Budgets default to laptop-scale settings; raise -trials/-budget toward
+// the paper's 20 trials for tighter statistics (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rff/internal/bench"
+	"rff/internal/campaign"
+	"rff/internal/report"
+	"rff/internal/stats"
+	"rff/internal/systematic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "table-b":
+		cmdMatrix(args, renderTableB)
+	case "fig4":
+		cmdMatrix(args, renderFig4)
+	case "rq1":
+		cmdMatrix(args, renderRQ1)
+	case "all":
+		cmdMatrix(args, func(m *campaign.MatrixResult) {
+			renderTableB(m)
+			fmt.Println()
+			renderFig4(m)
+			fmt.Println()
+			renderRQ1(m)
+		})
+	case "rq2":
+		cmdRQ2(args)
+	case "rq4":
+		cmdRQ4(args)
+	case "fig5":
+		cmdFig5(args)
+	case "classes":
+		cmdClasses(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes> [flags]")
+}
+
+// matrixFlags holds the common evaluation-matrix flags.
+type matrixFlags struct {
+	trials   int
+	budget   int
+	maxSteps int
+	seed     int64
+	suite    string
+	progs    string
+	quiet    bool
+}
+
+func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
+	mf := &matrixFlags{}
+	fs.IntVar(&mf.trials, "trials", 5, "trials per (tool, program); the paper uses 20")
+	fs.IntVar(&mf.budget, "budget", 2000, "schedule budget per trial")
+	fs.IntVar(&mf.maxSteps, "maxsteps", 5000, "per-execution step budget")
+	fs.Int64Var(&mf.seed, "seed", 1, "base seed")
+	fs.StringVar(&mf.suite, "suite", "", "restrict to one suite (CS, Chess, ConVul, ...)")
+	fs.StringVar(&mf.progs, "progs", "", "comma-separated program list (default: all)")
+	fs.BoolVar(&mf.quiet, "q", false, "suppress progress output")
+	return mf
+}
+
+func (mf *matrixFlags) programs() []bench.Program {
+	if mf.progs != "" {
+		var out []bench.Program
+		for _, n := range strings.Split(mf.progs, ",") {
+			out = append(out, bench.MustGet(strings.TrimSpace(n)))
+		}
+		return out
+	}
+	if mf.suite != "" {
+		return bench.BySuite(mf.suite)
+	}
+	// The default matrix is the paper's subject set; the Extras suite is
+	// opt-in via -suite Extras.
+	var out []bench.Program
+	for _, p := range bench.All() {
+		if p.Suite != "Extras" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
+	progress := func(done, total int) {
+		if !mf.quiet && (done%25 == 0 || done == total) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	m := campaign.RunMatrix(tools, mf.programs(), campaign.MatrixOptions{
+		Trials:   mf.trials,
+		Budget:   mf.budget,
+		MaxSteps: mf.maxSteps,
+		BaseSeed: mf.seed,
+		Progress: progress,
+	})
+	if !mf.quiet {
+		fmt.Fprintf(os.Stderr, "matrix completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return m
+}
+
+func cmdMatrix(args []string, render func(*campaign.MatrixResult)) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	mf := addMatrixFlags(fs)
+	fs.Parse(args)
+	render(mf.run(campaign.DefaultTools()))
+}
+
+func renderTableB(m *campaign.MatrixResult) {
+	fmt.Println("Mean Number of Schedules to 1st Bug (Appendix B reproduction)")
+	fmt.Println("(\"-\" = bug never found; \"*\" = missed in at least one trial)")
+	fmt.Println()
+	fmt.Print(report.AppendixB(m))
+	fmt.Println()
+	fmt.Println("Side-by-side with the paper's Appendix B:")
+	fmt.Println()
+	fmt.Print(report.AppendixBVsPaper(m))
+	fmt.Println()
+	fmt.Println("Shape checks:")
+	fmt.Print(report.ShapeChecks(m))
+}
+
+func renderFig4(m *campaign.MatrixResult) {
+	tools := []string{"RFF", "POS", "PCT3", "PERIOD*", "QLearning-RF"}
+	tools = intersect(tools, m.Tools)
+	fmt.Println("Figure 4: Total Bugs Discovered After Log(# Schedules) Across All Trials")
+	fmt.Println()
+	fmt.Print(report.Fig4ASCII(m, tools))
+	fmt.Println()
+	fmt.Println("CSV data:")
+	fmt.Print(report.Fig4CSV(m, tools))
+}
+
+func renderRQ1(m *campaign.MatrixResult) {
+	fmt.Println("RQ1: bugs found per trial (mean over trials) and pairwise significance")
+	fmt.Println()
+	for _, tool := range m.Tools {
+		counts := m.BugsFoundPerTrial(tool)
+		fmt.Printf("  %-14s mean bugs found: %5.1f / %d programs\n",
+			tool, stats.Mean(counts), len(m.Programs))
+	}
+	fmt.Println()
+	rff := m.BugsFoundPerTrial("RFF")
+	for _, tool := range m.Tools {
+		if tool == "RFF" || tool == "GenMC*" {
+			continue
+		}
+		_, p := stats.MannWhitneyU(rff, m.BugsFoundPerTrial(tool))
+		fmt.Printf("  Mann-Whitney U (RFF vs %s): p = %.4g\n", tool, p)
+	}
+	for _, other := range []string{"PERIOD*", "POS"} {
+		aw, bw := m.SignificantWins("RFF", other, 0.05)
+		fmt.Printf("  log-rank: RFF significantly fewer schedules than %s on %d/%d programs; "+
+			"%s better on %d\n", other, aw, len(m.Programs), other, bw)
+	}
+}
+
+func cmdRQ2(args []string) {
+	fs := flag.NewFlagSet("rq2", flag.ExitOnError)
+	mf := addMatrixFlags(fs)
+	fs.Parse(args)
+	m := mf.run([]campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()})
+	fmt.Println("RQ2: contribution of the abstract schedule (RFF vs its POS fallback)")
+	fmt.Println()
+	fmt.Printf("  RFF mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("RFF")))
+	fmt.Printf("  POS mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("POS")))
+	aw, bw := m.SignificantWins("RFF", "POS", 0.05)
+	fmt.Printf("  RFF significantly fewer schedules on %d/%d programs (log-rank, p<0.05)\n",
+		aw, len(m.Programs))
+	fmt.Printf("  POS significantly fewer schedules on %d/%d programs\n", bw, len(m.Programs))
+	fmt.Println()
+	fmt.Print(report.AppendixB(m))
+}
+
+func cmdRQ4(args []string) {
+	fs := flag.NewFlagSet("rq4", flag.ExitOnError)
+	mf := addMatrixFlags(fs)
+	fs.Parse(args)
+	m := mf.run([]campaign.Tool{campaign.RFFTool{}, campaign.NewQLearnTool()})
+	fmt.Println("RQ4: greybox fuzzing vs Q-Learning over the same reads-from information")
+	fmt.Println()
+	fmt.Printf("  RFF          mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("RFF")))
+	fmt.Printf("  QLearning-RF mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("QLearning-RF")))
+	aw, _ := m.SignificantWins("RFF", "QLearning-RF", 0.05)
+	fmt.Printf("  RFF significantly fewer schedules on %d/%d programs\n", aw, len(m.Programs))
+	// One-shot successes: programs where the first schedule of trial 0 hit the bug.
+	oneShot := func(tool string) int {
+		n := 0
+		for _, p := range m.Programs {
+			outs := m.Outcomes[tool][p]
+			if len(outs) > 0 && outs[0].FirstBug == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("  first-schedule successes: RFF %d, QLearning-RF %d\n",
+		oneShot("RFF"), oneShot("QLearning-RF"))
+}
+
+func cmdFig5(args []string) {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	n := fs.Int("n", 10000, "schedules per configuration (paper: 10000)")
+	prog := fs.String("prog", "SafeStack", "program to profile")
+	seed := fs.Int64("seed", 1, "seed")
+	maxSteps := fs.Int("maxsteps", 5000, "per-execution step budget")
+	bars := fs.Int("bars", 40, "bars to draw")
+	csv := fs.Bool("csv", false, "emit CSV instead of ASCII bars")
+	nofb := fs.Bool("nofeedback", false, "profile RFF without greybox feedback instead of POS (RQ3 ablation)")
+	fs.Parse(args)
+	p := bench.MustGet(*prog)
+
+	var top *campaign.Distribution
+	if *nofb {
+		top = campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, false)
+	} else {
+		top = campaign.RFDistributionPOS(p, *n, *seed, *maxSteps)
+	}
+	bottom := campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, true)
+
+	fmt.Printf("Figure 5: reads-from combination frequencies on %s (%d schedules)\n\n", p.Name, *n)
+	if *csv {
+		fmt.Print(report.Fig5CSV(top))
+		fmt.Print(report.Fig5CSV(bottom))
+		return
+	}
+	fmt.Print(report.Fig5ASCII(top, *bars))
+	fmt.Println()
+	fmt.Print(report.Fig5ASCII(bottom, *bars))
+}
+
+func cmdClasses(args []string) {
+	fs := flag.NewFlagSet("classes", flag.ExitOnError)
+	prog := fs.String("prog", "Extras/reorder_2", "program to enumerate")
+	budget := fs.Int("budget", 500000, "max schedules")
+	fs.Parse(args)
+	p := bench.MustGet(*prog)
+	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{MaxExecutions: *budget})
+	fmt.Printf("E8: %s — %d schedules enumerated", p.Name, rep.Executions)
+	if rep.Complete {
+		fmt.Print(" (complete)")
+	} else {
+		fmt.Print(" (budget exhausted)")
+	}
+	fmt.Printf(", %d reads-from equivalence classes\n", rep.Classes)
+	if rep.Executions > 0 {
+		fmt.Printf("reduction factor: %.0fx\n", float64(rep.Executions)/float64(max(rep.Classes, 1)))
+	}
+}
+
+func intersect(want, have []string) []string {
+	set := make(map[string]bool, len(have))
+	for _, h := range have {
+		set[h] = true
+	}
+	var out []string
+	for _, w := range want {
+		if set[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+// Deadlock: the engine's built-in deadlock detector at work on an ABBA
+// lock cycle and on a lost condition-variable signal, including replay.
+//
+// Run with:
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// abba acquires two locks in opposite orders from two threads.
+func abba(t *exec.Thread) {
+	m1 := t.NewMutex("disk")
+	m2 := t.NewMutex("journal")
+	a := t.Go("flusher", func(w *exec.Thread) {
+		w.Lock(m1)
+		w.Yield() // widen the window
+		w.Lock(m2)
+		w.Unlock(m2)
+		w.Unlock(m1)
+	})
+	b := t.Go("committer", func(w *exec.Thread) {
+		w.Lock(m2)
+		w.Yield()
+		w.Lock(m1)
+		w.Unlock(m1)
+		w.Unlock(m2)
+	})
+	t.JoinAll(a, b)
+}
+
+// lostSignal checks the ready flag outside the mutex, so the producer's
+// only signal can fire before the consumer waits.
+func lostSignal(t *exec.Thread) {
+	m := t.NewMutex("m")
+	cv := t.NewCond("cv", m)
+	ready := t.NewVar("ready", 0)
+	consumer := t.Go("consumer", func(w *exec.Thread) {
+		if w.Read(ready) == 0 { // BUG: unlocked check
+			w.Lock(m)
+			w.Wait(cv)
+			w.Unlock(m)
+		}
+	})
+	producer := t.Go("producer", func(w *exec.Thread) {
+		w.Write(ready, 1)
+		w.Lock(m)
+		w.Signal(cv)
+		w.Unlock(m)
+	})
+	t.JoinAll(consumer, producer)
+}
+
+func hunt(name string, prog exec.Program) {
+	rep := core.NewFuzzer(name, prog, core.Options{
+		Budget: 2000, Seed: 7, StopAtFirstBug: true,
+	}).Run()
+	if !rep.FoundBug() {
+		fmt.Printf("%s: no deadlock found in %d schedules\n", name, rep.Executions)
+		return
+	}
+	f := rep.Failures[0]
+	fmt.Printf("%s: deadlock after %d schedules\n  %v\n", name, rep.FirstBug, f.Failure)
+
+	replay := exec.Run(name, prog, exec.Config{Scheduler: sched.NewReplay(f.Decisions)})
+	fmt.Printf("  replay agrees: %v\n\n", replay.Failure != nil && replay.Failure.Kind == exec.FailDeadlock)
+}
+
+func main() {
+	hunt("abba", abba)
+	hunt("lostSignal", lostSignal)
+}

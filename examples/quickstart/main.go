@@ -1,0 +1,63 @@
+// Quickstart: write a racy program against the controlled execution
+// engine, fuzz its schedule space with RFF, and replay the failing
+// schedule deterministically.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// bankAccount is a classic lost-update race: deposit and withdraw both
+// read-modify-write the balance without holding the lock.
+func bankAccount(t *exec.Thread) {
+	balance := t.NewVar("balance", 100)
+
+	deposit := t.Go("deposit", func(w *exec.Thread) {
+		b := w.Read(balance)   // scheduling point: read event
+		w.Write(balance, b+50) // scheduling point: write event
+	})
+	withdraw := t.Go("withdraw", func(w *exec.Thread) {
+		b := w.Read(balance)
+		w.Write(balance, b-50)
+	})
+	t.JoinAll(deposit, withdraw)
+
+	t.Assert(t.Read(balance) == 100, "an update was lost")
+}
+
+func main() {
+	// 1. Fuzz the schedule space (input is fixed; schedules vary).
+	rep := core.NewFuzzer("bankAccount", bankAccount, core.Options{
+		Budget:         1000, // at most 1000 schedules
+		Seed:           42,
+		StopAtFirstBug: true,
+	}).Run()
+
+	if !rep.FoundBug() {
+		fmt.Println("no bug found — unexpected for this program!")
+		return
+	}
+	failure := rep.Failures[0]
+	fmt.Printf("bug found after %d schedules: %v\n", rep.FirstBug, failure.Failure)
+	fmt.Printf("abstract schedule driven at the time: %v\n", failure.Schedule)
+
+	// 2. Replay the exact failing interleaving, deterministically.
+	replay := exec.Run("bankAccount", bankAccount, exec.Config{
+		Scheduler: sched.NewReplay(failure.Decisions),
+	})
+	fmt.Printf("replay reproduces the failure: %v\n", replay.Failure)
+
+	// 3. Inspect the failing trace's reads-from relation.
+	fmt.Println("reads-from pairs of the failing execution:")
+	for _, p := range replay.Trace.RFPairs() {
+		fmt.Printf("  %v\n", p)
+	}
+}

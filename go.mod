@@ -1,0 +1,3 @@
+module rff
+
+go 1.22

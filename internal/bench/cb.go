@@ -1,0 +1,102 @@
+package bench
+
+import "rff/internal/exec"
+
+// The CB suite ports SCTBench's "concurrency bugs" applications: the aget
+// downloader, the pbzip2 parallel compressor, and the JDK 1.4 StringBuffer
+// — thousand-line production programs in the original, distilled here to
+// the threads and shared accesses that participate in each bug.
+
+func init() {
+	register(Program{
+		Name: "CB/aget-bug2", Suite: "CB", Bug: BugAssert, Threads: 2,
+		Desc: "two download threads bump the shared bytes-written counter without the lock; the progress accounting loses an update",
+		Body: agetBug2Program,
+	})
+	register(Program{
+		Name: "CB/pbzip2-0.9.4", Suite: "CB", Bug: BugDeadlock, Threads: 2,
+		Desc: "the consumer checks fifo->empty outside the mutex: the producer's only signal can fire before the consumer waits, deadlocking the pipeline",
+		Body: pbzip2Program,
+	})
+	register(Program{
+		Name: "CB/stringbuffer-jdk1.4", Suite: "CB", Bug: BugAssert, Threads: 2,
+		Desc: "StringBuffer.getChars samples the length, then copies after a concurrent delete shrank the buffer (JDK 1.4 race)",
+		Body: stringBufferProgram,
+	})
+}
+
+// agetBug2Program: unsynchronized progress counter updates.
+func agetBug2Program(t *exec.Thread) {
+	bwritten := t.NewVar("bwritten", 0)
+	lock := t.NewMutex("bwritten_mutex")
+	dl := func(chunk int64) exec.Program {
+		return func(w *exec.Thread) {
+			// The original takes the lock for the history array but
+			// updates bwritten outside it.
+			w.Lock(lock)
+			w.Unlock(lock)
+			b := w.Read(bwritten)
+			w.Write(bwritten, b+chunk)
+		}
+	}
+	a := t.Go("http_get_0", dl(100))
+	b := t.Go("http_get_1", dl(50))
+	t.JoinAll(a, b)
+	t.Assertf(t.Read(bwritten) == 150, "progress lost: %d/150 bytes accounted", t.Read(bwritten))
+}
+
+// pbzip2Program: lost-wakeup pipeline shutdown.
+func pbzip2Program(t *exec.Thread) {
+	m := t.NewMutex("fifo_mut")
+	notEmpty := t.NewCond("notEmpty", m)
+	empty := t.NewVar("fifo_empty", 1)
+	blocks := t.NewVar("blocks", 0)
+
+	consumer := t.Go("consumer", func(w *exec.Thread) {
+		// BUG: the emptiness check happens without holding fifo_mut.
+		if w.Read(empty) == 1 {
+			w.Lock(m)
+			w.Wait(notEmpty) // the producer's signal may already be gone
+			w.Unlock(m)
+		}
+		w.Lock(m)
+		b := w.Read(blocks)
+		w.Write(blocks, b-1)
+		w.Unlock(m)
+	})
+	producer := t.Go("producer", func(w *exec.Thread) {
+		w.Lock(m)
+		b := w.Read(blocks)
+		w.Write(blocks, b+1)
+		w.Write(empty, 0)
+		w.Signal(notEmpty) // fires exactly once
+		w.Unlock(m)
+	})
+	t.JoinAll(consumer, producer)
+}
+
+// stringBufferProgram: length sampled before a racing delete.
+func stringBufferProgram(t *exec.Thread) {
+	length := t.NewVar("sb.count", 4)
+	lock := t.NewMutex("sb.lock")
+
+	getChars := t.Go("getChars", func(w *exec.Thread) {
+		// getChars is NOT synchronized in JDK 1.4: it samples count...
+		n := w.Read(length)
+		// ... prepares the destination ...
+		w.Yield()
+		// ... and copies; by now a synchronized delete may have shrunk
+		// the buffer, making the copy read out of bounds.
+		cur := w.Read(length)
+		w.Assertf(n <= cur, "ArrayIndexOutOfBounds: copying %d chars from a %d-char buffer", n, cur)
+	})
+	deleter := t.Go("delete", func(w *exec.Thread) {
+		w.Lock(lock)
+		n := w.Read(length)
+		if n >= 4 {
+			w.Write(length, n-4)
+		}
+		w.Unlock(lock)
+	})
+	t.JoinAll(getChars, deleter)
+}

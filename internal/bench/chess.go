@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+
+	"rff/internal/exec"
+)
+
+// The Chess suite ports the CHESS work-stealing queue benchmarks
+// (Musuvathi et al., OSDI'08): a Cilk-style deque where the owner pushes
+// and pops at the tail and thieves steal from the head. Each variant has
+// the suite's characteristic owner/thief race in which one element is
+// taken twice (or lost); the oracle marks every take with an atomic
+// claim so a double take crashes immediately.
+
+func init() {
+	register(Program{
+		Name: "Chess/WorkStealQueue", Suite: "Chess", Bug: BugAssert, Threads: 2,
+		Desc: "lock-based WSQ with an unsynchronized pop fast path: owner and thief can both take the last element",
+		Body: wsqProgram(wsqLocked, 3, 1),
+	})
+	register(Program{
+		Name: "Chess/InterlockedWorkStealQueue", Suite: "Chess", Bug: BugAssert, Threads: 2,
+		Desc: "WSQ whose thieves use CAS on head; the owner's unsynchronized pop still races on the final element",
+		Body: wsqProgram(wsqInterlocked, 3, 1),
+	})
+	register(Program{
+		Name: "Chess/StateWorkStealQueue", Suite: "Chess", Bug: BugAssert, Threads: 2,
+		Desc: "WSQ with a per-item state array claimed without synchronization: conflicting claims fire the state assert",
+		Body: wsqProgram(wsqState, 3, 1),
+	})
+	register(Program{
+		Name: "Chess/InterlockedWorkStealQueueWithState", Suite: "Chess", Bug: BugAssert, Threads: 2,
+		Desc: "CAS-based WSQ with item states: the narrower owner/thief window still double-claims under one interleaving",
+		Body: wsqProgram(wsqInterlockedState, 4, 1),
+	})
+}
+
+// wsqVariant selects the synchronization scheme under test.
+type wsqVariant uint8
+
+const (
+	wsqLocked wsqVariant = iota
+	wsqInterlocked
+	wsqState
+	wsqInterlockedState
+)
+
+// wsq is the shared deque state.
+type wsq struct {
+	head, tail *exec.Var
+	arr        []*exec.Var
+	state      []*exec.Var // item claim states (state variants only)
+	lock       *exec.Mutex
+	claims     []*exec.Var // oracle: per-item atomic take counters
+}
+
+// newWSQ builds the deque with the given capacity.
+func newWSQ(t *exec.Thread, cap int, withState bool) *wsq {
+	q := &wsq{
+		head:   t.NewVar("head", 0),
+		tail:   t.NewVar("tail", 0),
+		arr:    t.NewVars("arr", cap, 0),
+		lock:   t.NewMutex("qlock"),
+		claims: t.NewVars("claims", cap, 0),
+	}
+	if withState {
+		q.state = t.NewVars("state", cap, 0)
+	}
+	return q
+}
+
+// take is the oracle: every successful take of item (value v = index+1)
+// must be unique across owner and thieves.
+func (q *wsq) take(t *exec.Thread, idx int64, who string) {
+	prev := t.AtomicAdd(q.claims[idx], 1)
+	t.Assertf(prev == 0, "item %d taken twice (second taker: %s)", idx, who)
+}
+
+// claimState models the state-array variants' per-item claim protocol:
+// read-check-write without synchronization.
+func (q *wsq) claimState(t *exec.Thread, idx int64, who string) {
+	s := t.Read(q.state[idx])
+	t.Assertf(s == 0, "item %d state already claimed (second claimer: %s)", idx, who)
+	t.Write(q.state[idx], 1)
+}
+
+// push appends at the tail (owner only).
+func (q *wsq) push(t *exec.Thread, v int64) {
+	tl := t.Read(q.tail)
+	t.Write(q.arr[tl], v)
+	t.Write(q.tail, tl+1)
+}
+
+// pop removes from the tail. The fast path is the CHESS bug: tail is
+// decremented and the element taken with only a stale head check, so a
+// concurrent steal of the same (last) element goes unnoticed.
+func (q *wsq) pop(t *exec.Thread, variant wsqVariant) (int64, bool) {
+	tl := t.Read(q.tail) - 1
+	if tl < 0 {
+		return 0, false
+	}
+	t.Write(q.tail, tl)
+	h := t.Read(q.head)
+	if h > tl {
+		// Queue looked empty: restore and retry under the lock.
+		t.Write(q.tail, tl+1)
+		t.Lock(q.lock)
+		h = t.Read(q.head)
+		tl = t.Read(q.tail) - 1
+		if h > tl {
+			t.Unlock(q.lock)
+			return 0, false
+		}
+		t.Write(q.tail, tl)
+		v := t.Read(q.arr[tl])
+		t.Unlock(q.lock)
+		return v, true
+	}
+	// BUG: when h == tl a thief may be taking arr[tl] right now.
+	v := t.Read(q.arr[tl])
+	return v, true
+}
+
+// steal removes from the head (thieves).
+func (q *wsq) steal(t *exec.Thread, variant wsqVariant) (int64, bool) {
+	switch variant {
+	case wsqLocked, wsqState:
+		t.Lock(q.lock)
+		h := t.Read(q.head)
+		tl := t.Read(q.tail)
+		if h >= tl {
+			t.Unlock(q.lock)
+			return 0, false
+		}
+		v := t.Read(q.arr[h])
+		t.Write(q.head, h+1)
+		t.Unlock(q.lock)
+		return v, true
+	default: // wsqInterlocked, wsqInterlockedState
+		h := t.Read(q.head)
+		tl := t.Read(q.tail)
+		if h >= tl {
+			return 0, false
+		}
+		v := t.Read(q.arr[h])
+		if _, ok := t.CAS(q.head, h, h+1); ok {
+			return v, true
+		}
+		return 0, false
+	}
+}
+
+// wsqProgram builds the benchmark body: the owner pushes `items` items and
+// pops them back while `thieves` thieves steal concurrently.
+func wsqProgram(variant wsqVariant, items, thieves int) exec.Program {
+	withState := variant == wsqState || variant == wsqInterlockedState
+	return func(t *exec.Thread) {
+		q := newWSQ(t, items, withState)
+		owner := t.Go("owner", func(w *exec.Thread) {
+			for i := 0; i < items; i++ {
+				q.push(w, int64(i))
+			}
+			for i := 0; i < items; i++ {
+				v, ok := q.pop(w, variant)
+				if !ok {
+					continue
+				}
+				if withState {
+					q.claimState(w, v, "owner")
+				}
+				q.take(w, v, "owner")
+			}
+		})
+		ths := make([]*exec.Thread, 0, thieves+1)
+		ths = append(ths, owner)
+		for i := 0; i < thieves; i++ {
+			ths = append(ths, t.Go(fmt.Sprintf("thief%d", i), func(w *exec.Thread) {
+				for tries := 0; tries < items+1; tries++ {
+					v, ok := q.steal(w, variant)
+					if !ok {
+						w.Yield()
+						continue
+					}
+					if withState {
+						q.claimState(w, v, "thief")
+					}
+					q.take(w, v, "thief")
+				}
+			}))
+		}
+		t.JoinAll(ths...)
+	}
+}

@@ -1,0 +1,269 @@
+package bench
+
+import "rff/internal/exec"
+
+// The ConVul suite distills the ten real-world CVEs of the ConVul
+// benchmark (Cai et al.) to their racy access cores: check-then-use null
+// dereferences, get/put refcount races, revoke-vs-read use-after-frees and
+// guard-flag double frees. Each program keeps the original's thread
+// structure and the interleaving window that triggers the crash; the
+// simulated heap (memsim.go) provides the crash oracle.
+
+func init() {
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2009-3547", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "pipe release NULLs inode->i_pipe between another thread's check and dereference",
+		Body: cve20093547,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2011-2183", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "ksm scan uses an mm_struct while the exiting task frees it after the liveness check",
+		Body: cve20112183,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2013-1792", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "keyring shadow-cred race: reader samples the refcount, the exiting thread drops the last reference, the reader resurrects and uses the freed creds",
+		Body: cve20131792,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2015-7550", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "keyctl_read checks the key under lock, drops the lock, then reads the payload the revoker freed",
+		Body: cve20157550,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2016-1972", Suite: "ConVul", Bug: BugMemory, Threads: 3,
+		Desc: "Mozilla buffer-swap race: a reader resolves the current buffer index while a rotator retires and frees the buffer it is about to use, behind a second guard",
+		Body: cve20161972,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2016-1973", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "Mozilla graphics UAF: the compositor frees a texture the painter is still addressing",
+		Body: cve20161973,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2016-7911", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "ioprio get/put race on a non-atomic refcount frees the io_context under a concurrent getter",
+		Body: cve20167911,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2016-9806", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "netlink double bind: both paths see the socket unbound and both free the old group table",
+		Body: cve20169806,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2017-15265", Suite: "ConVul", Bug: BugMemory, Threads: 3,
+		Desc: "ALSA sequencer: port creation publishes to the client table before init completes while a deleter frees it through the table",
+		Body: cve201715265,
+	})
+	register(Program{
+		Name: "ConVul-CVE-Benchmarks/CVE-2017-6346", Suite: "ConVul", Bug: BugMemory, Threads: 2,
+		Desc: "packet fanout: setsockopt frees the ring while a racing sender still transmits through it",
+		Body: cve20176346,
+	})
+}
+
+// cve20093547: check-then-dereference against a concurrent NULLing close.
+func cve20093547(t *exec.Thread) {
+	pipe := NewObj(t, "i_pipe")
+	reader := t.Go("pipe_read_open", func(w *exec.Thread) {
+		if !pipe.Alive(w) {
+			return // already closed
+		}
+		// ... lock-free fast path continues with the cached pointer ...
+		pipe.Use(w) // crashes if the closer won the race
+	})
+	closer := t.Go("pipe_release", func(w *exec.Thread) {
+		w.Write(pipe.state, objNull) // inode->i_pipe = NULL
+	})
+	t.JoinAll(reader, closer)
+}
+
+// cve20112183: liveness check under lock, use after dropping it.
+func cve20112183(t *exec.Thread) {
+	mm := NewObj(t, "mm_struct")
+	lock := t.NewMutex("ksm_lock")
+	scanner := t.Go("ksm_scan", func(w *exec.Thread) {
+		w.Lock(lock)
+		alive := mm.Alive(w)
+		w.Unlock(lock)
+		if !alive {
+			return
+		}
+		mm.Use(w) // the exiting task may free between unlock and here
+	})
+	exiter := t.Go("exit_mm", func(w *exec.Thread) {
+		w.Lock(lock)
+		w.Unlock(lock)
+		mm.Free(w)
+	})
+	t.JoinAll(scanner, exiter)
+}
+
+// cve20131792: refcount sample → drop-to-zero free → resurrecting get →
+// use. Needs three orderings to line up, making it markedly harder than
+// the two-step races.
+func cve20131792(t *exec.Thread) {
+	cred := NewObj(t, "cred")
+	rc := NewRefcount(t, "cred", 1, cred)
+	installed := t.NewVar("installed", 0)
+
+	reader := t.Go("key_read", func(w *exec.Thread) {
+		if rc.Count(w) <= 0 {
+			return // creds already gone
+		}
+		if w.Read(installed) == 0 {
+			w.Yield() // wait for installation to settle (racy)
+		}
+		rc.Get(w) // resurrection after free: the bug's first half
+		cred.Use(w)
+		rc.Put(w)
+	})
+	exiter := t.Go("task_exit", func(w *exec.Thread) {
+		w.Write(installed, 1)
+		rc.Put(w) // drops the last legitimate reference
+	})
+	t.JoinAll(reader, exiter)
+}
+
+// cve20157550: locked check, unlocked payload read vs. revoke.
+func cve20157550(t *exec.Thread) {
+	key := NewObj(t, "key")
+	sem := t.NewMutex("key_sem")
+	reader := t.Go("keyctl_read", func(w *exec.Thread) {
+		w.Lock(sem)
+		alive := key.Alive(w)
+		w.Unlock(sem)
+		if !alive {
+			return
+		}
+		key.Use(w) // payload read outside the semaphore
+	})
+	revoker := t.Go("keyctl_revoke", func(w *exec.Thread) {
+		w.Lock(sem)
+		key.Free(w)
+		w.Unlock(sem)
+	})
+	t.JoinAll(reader, revoker)
+}
+
+// cve20161972: three threads; the reader must resolve the index before the
+// rotator swaps AND dereference after the retirer frees — a deeper window
+// that plain sampling rarely hits.
+func cve20161972(t *exec.Thread) {
+	bufA := NewObj(t, "bufA")
+	bufB := NewObj(t, "bufB")
+	current := t.NewVar("current", 0) // 0 -> bufA, 1 -> bufB
+	retired := t.NewVar("retired", 0)
+
+	reader := t.Go("reader", func(w *exec.Thread) {
+		idx := w.Read(current)
+		buf := bufA
+		if idx == 1 {
+			buf = bufB
+		}
+		if w.Read(retired) != 0 && !buf.Alive(w) {
+			return // noticed the rotation in time
+		}
+		buf.Use(w)
+	})
+	rotator := t.Go("rotator", func(w *exec.Thread) {
+		w.Write(current, 1)
+		w.Write(retired, 1)
+	})
+	retirer := t.Go("retirer", func(w *exec.Thread) {
+		if w.Read(retired) != 0 {
+			bufA.Free(w)
+		}
+	})
+	t.JoinAll(reader, rotator, retirer)
+}
+
+// cve20161973: straightforward free-under-use between two threads.
+func cve20161973(t *exec.Thread) {
+	tex := NewObj(t, "texture")
+	painter := t.Go("painter", func(w *exec.Thread) {
+		if !tex.Alive(w) {
+			return
+		}
+		tex.Store(w, 7)
+	})
+	compositor := t.Go("compositor", func(w *exec.Thread) {
+		tex.Free(w)
+	})
+	t.JoinAll(painter, compositor)
+}
+
+// cve20167911: non-atomic get/put refcount race.
+func cve20167911(t *exec.Thread) {
+	ioc := NewObj(t, "io_context")
+	rc := NewRefcount(t, "ioc", 1, ioc)
+	getter := t.Go("get_task_ioprio", func(w *exec.Thread) {
+		if rc.Count(w) <= 0 {
+			return
+		}
+		rc.Get(w) // non-atomic: may resurrect a freed context
+		ioc.Use(w)
+		rc.Put(w)
+	})
+	putter := t.Go("put_io_context", func(w *exec.Thread) {
+		rc.Put(w)
+	})
+	t.JoinAll(getter, putter)
+}
+
+// cve20169806: both threads pass the "unbound" guard, both free.
+func cve20169806(t *exec.Thread) {
+	groups := NewObj(t, "groups")
+	bound := t.NewVar("bound", 0)
+	bind := func(w *exec.Thread) {
+		if w.Read(bound) != 0 {
+			return // someone already rebound; nothing to free
+		}
+		w.Write(bound, 1)
+		groups.Free(w) // double free when both saw bound==0
+	}
+	a := t.Go("netlink_bind", bind)
+	b := t.Go("netlink_setsockopt", bind)
+	t.JoinAll(a, b)
+}
+
+// cve201715265: publish-before-init plus a racing deleter; three threads.
+func cve201715265(t *exec.Thread) {
+	port := NewNullObj(t, "port")
+	table := t.NewVar("client_table", 0)
+
+	creator := t.Go("create_port", func(w *exec.Thread) {
+		w.Write(table, 1) // publish to the client table (too early)
+		port.Alloc(w)     // initialization completes after publication
+	})
+	user := t.Go("use_port", func(w *exec.Thread) {
+		if w.Read(table) == 0 {
+			return // not visible yet
+		}
+		port.Use(w) // crashes if still null or already deleted
+	})
+	deleter := t.Go("delete_port", func(w *exec.Thread) {
+		if w.Read(table) != 0 {
+			port.FreeUnchecked(w)
+		}
+	})
+	t.JoinAll(creator, user, deleter)
+}
+
+// cve20176346: teardown frees the ring under an in-flight sender.
+func cve20176346(t *exec.Thread) {
+	ring := NewObj(t, "fanout_ring")
+	active := t.NewVar("active", 1)
+	sender := t.Go("packet_send", func(w *exec.Thread) {
+		if w.Read(active) == 0 {
+			return
+		}
+		ring.Use(w)
+		ring.Store(w, 1)
+	})
+	teardown := t.Go("fanout_release", func(w *exec.Thread) {
+		w.Write(active, 0)
+		ring.Free(w)
+	})
+	t.JoinAll(sender, teardown)
+}

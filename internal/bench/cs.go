@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"fmt"
+
+	"rff/internal/exec"
+)
+
+// The CS suite ports the Cordeiro/Fischer context-bounded verification
+// benchmarks as packaged in SCTBench: small pthread programs with planted
+// assertion violations and deadlocks. These dominate the paper's Appendix
+// B table (account, bluetooth_driver, reorder_*, twostage_*, ...).
+
+func init() {
+	for _, n := range []int{3, 4, 5, 10, 20, 50, 100} {
+		n := n
+		register(Program{
+			Name:    fmt.Sprintf("CS/reorder_%d", n),
+			Suite:   "CS",
+			Bug:     BugAssert,
+			Threads: n + 1,
+			Desc: fmt.Sprintf("%d setter threads write a=1 then b=-1; a checker asserts (a,b) is "+
+				"(0,0) or (1,-1) — fails only when it reads between some setter's two writes (Figure 1)", n),
+			Body: reorderProgram(n),
+		})
+	}
+	for _, n := range []int{1, 20, 50, 100} {
+		n := n
+		name := "CS/twostage"
+		if n > 1 {
+			name = fmt.Sprintf("CS/twostage_%d", n)
+		}
+		register(Program{
+			Name:    name,
+			Suite:   "CS",
+			Bug:     BugAssert,
+			Threads: n + 1,
+			Desc: fmt.Sprintf("%d two-stage updaters set data1 under lock A then data2 under lock B; "+
+				"a reader asserts data2 == data1+1 and fails when it runs between someone's stages", n),
+			Body: twostageProgram(n),
+		})
+	}
+	register(Program{
+		Name: "CS/account", Suite: "CS", Bug: BugAssert, Threads: 2,
+		Desc: "unsynchronized deposit and withdraw race on the balance; main asserts the final balance",
+		Body: accountProgram,
+	})
+	register(Program{
+		Name: "CS/bluetooth_driver", Suite: "CS", Bug: BugAssert, Threads: 2,
+		Desc: "driver worker checks stoppingFlag, then touches the device; the stopper sets stoppingFlag and stopped in between (QW2004)",
+		Body: bluetoothProgram,
+	})
+	register(Program{
+		Name: "CS/carter01", Suite: "CS", Bug: BugDeadlock, Threads: 2,
+		Desc: "conditional lock ordering: both threads take locks A and B in opposite orders behind data-dependent branches",
+		Body: carterProgram,
+	})
+	register(Program{
+		Name: "CS/circular_buffer", Suite: "CS", Bug: BugAssert, Threads: 2,
+		Desc: "producer/consumer over a ring buffer with a non-atomic element count; racing updates corrupt FIFO order",
+		Body: circularBufferProgram,
+	})
+	register(Program{
+		Name: "CS/deadlock01", Suite: "CS", Bug: BugDeadlock, Threads: 2,
+		Desc: "classic ABBA: thread 1 locks A then B, thread 2 locks B then A",
+		Body: deadlock01Program,
+	})
+	register(Program{
+		Name: "CS/lazy01", Suite: "CS", Bug: BugAssert, Threads: 3,
+		Desc: "three lazy initializers add 1, 2 and read; the assert fires when the reader sees the full sum",
+		Body: lazy01Program,
+	})
+	register(Program{
+		Name: "CS/queue", Suite: "CS", Bug: BugAssert, Threads: 2,
+		Desc: "enqueue and dequeue share a non-atomic element count; racing updates break the FIFO invariant",
+		Body: queueProgram,
+	})
+	register(Program{
+		Name: "CS/stack", Suite: "CS", Bug: BugAssert, Threads: 2,
+		Desc: "push and pop race on the unprotected top-of-stack index; the bounds assertion fires on over/underflow",
+		Body: stackProgram,
+	})
+	register(Program{
+		Name: "CS/token_ring", Suite: "CS", Bug: BugAssert, Threads: 4,
+		Desc: "four threads pass a token by unsynchronized read-increment-write; lost updates break the final count",
+		Body: tokenRingProgram,
+	})
+	register(Program{
+		Name: "CS/wronglock", Suite: "CS", Bug: BugAssert, Threads: 3,
+		Desc: "one updater guards the counter with lock L, two others with lock M: mutual exclusion silently fails",
+		Body: wronglockProgram(1, 2),
+	})
+	register(Program{
+		Name: "CS/wronglock_3", Suite: "CS", Bug: BugAssert, Threads: 4,
+		Desc: "wronglock with three threads on the wrong lock",
+		Body: wronglockProgram(1, 3),
+	})
+}
+
+// reorderProgram is the paper's Figure 1 subject: n setters, one checker.
+func reorderProgram(n int) exec.Program {
+	return func(t *exec.Thread) {
+		a := t.NewVar("a", 0)
+		b := t.NewVar("b", 0)
+		threads := make([]*exec.Thread, 0, n+1)
+		for i := 0; i < n; i++ {
+			threads = append(threads, t.Go("setter", func(w *exec.Thread) {
+				w.Write(a, 1)
+				w.Write(b, -1)
+			}))
+		}
+		threads = append(threads, t.Go("checker", func(w *exec.Thread) {
+			av := w.Read(a)
+			bv := w.Read(b)
+			w.Assert((av == 0 && bv == 0) || (av == 1 && bv == -1),
+				"checker saw a partial setter update")
+		}))
+		t.JoinAll(threads...)
+	}
+}
+
+// twostageProgram: n updaters run stage 1 (data1=42 under lock A) and then
+// stage 2 (data2=data1+1 under lock B); the reader fails if it observes
+// stage 1's effect without any completed stage 2.
+func twostageProgram(n int) exec.Program {
+	return func(t *exec.Thread) {
+		data1 := t.NewVar("data1", 0)
+		data2 := t.NewVar("data2", 0)
+		mA := t.NewMutex("mA")
+		mB := t.NewMutex("mB")
+		threads := make([]*exec.Thread, 0, n+1)
+		for i := 0; i < n; i++ {
+			threads = append(threads, t.Go("updater", func(w *exec.Thread) {
+				w.Lock(mA)
+				w.Write(data1, 42)
+				w.Unlock(mA)
+				w.Lock(mB)
+				d1 := w.Read(data1)
+				w.Write(data2, d1+1)
+				w.Unlock(mB)
+			}))
+		}
+		threads = append(threads, t.Go("reader", func(w *exec.Thread) {
+			w.Lock(mA)
+			d1 := w.Read(data1)
+			w.Unlock(mA)
+			if d1 == 0 {
+				return // no stage completed yet: nothing to check
+			}
+			w.Lock(mB)
+			d2 := w.Read(data2)
+			w.Unlock(mB)
+			w.Assert(d2 == d1+1, "reader ran between an updater's two stages")
+		}))
+		t.JoinAll(threads...)
+	}
+}
+
+// accountProgram: classic unsynchronized bank account.
+func accountProgram(t *exec.Thread) {
+	balance := t.NewVar("balance", 100)
+	dep := t.Go("deposit", func(w *exec.Thread) {
+		b := w.Read(balance)
+		w.Write(balance, b+50)
+	})
+	wdr := t.Go("withdraw", func(w *exec.Thread) {
+		b := w.Read(balance)
+		w.Write(balance, b-50)
+	})
+	t.JoinAll(dep, wdr)
+	t.Assert(t.Read(balance) == 100, "deposit or withdrawal lost")
+}
+
+// bluetoothProgram models the QW2004 Bluetooth driver stop race.
+func bluetoothProgram(t *exec.Thread) {
+	stoppingFlag := t.NewVar("stoppingFlag", 0)
+	stopped := t.NewVar("stopped", 0)
+	pendingIO := t.NewVar("pendingIO", 1)
+
+	adder := t.Go("BCSP_PnpAdd", func(w *exec.Thread) {
+		if w.Read(stoppingFlag) != 0 {
+			return // driver shutting down; bail out
+		}
+		// Driver believes it is safe to work: bump pending I/O and touch
+		// the device.
+		p := w.Read(pendingIO)
+		w.Write(pendingIO, p+1)
+		w.Assert(w.Read(stopped) == 0, "device used after stop completed")
+		p = w.Read(pendingIO)
+		w.Write(pendingIO, p-1)
+	})
+	stopper := t.Go("BCSP_PnpStop", func(w *exec.Thread) {
+		w.Write(stoppingFlag, 1)
+		p := w.Read(pendingIO)
+		w.Write(pendingIO, p-1)
+		// In the original the stopper waits for pending I/O to drain; the
+		// race fires regardless because the adder checked stoppingFlag
+		// before the store became visible.
+		w.Write(stopped, 1)
+	})
+	t.JoinAll(adder, stopper)
+}
+
+// carterProgram: data-dependent opposite lock orders.
+func carterProgram(t *exec.Thread) {
+	mA := t.NewMutex("A")
+	mB := t.NewMutex("B")
+	x := t.NewVar("x", 0)
+	t1 := t.Go("t1", func(w *exec.Thread) {
+		w.Lock(mA)
+		v := w.Read(x)
+		w.Write(x, v+1)
+		w.Lock(mB)
+		w.Unlock(mB)
+		w.Unlock(mA)
+	})
+	t2 := t.Go("t2", func(w *exec.Thread) {
+		w.Lock(mB)
+		v := w.Read(x)
+		w.Write(x, v+2)
+		w.Lock(mA)
+		w.Unlock(mA)
+		w.Unlock(mB)
+	})
+	t.JoinAll(t1, t2)
+}
+
+// circularBufferProgram: ring buffer with a racy element count.
+func circularBufferProgram(t *exec.Thread) {
+	const size = 4
+	const items = 5
+	buf := t.NewVars("buf", size, 0)
+	count := t.NewVar("count", 0)
+
+	producer := t.Go("producer", func(w *exec.Thread) {
+		in := 0
+		for i := 1; i <= items; i++ {
+			for tries := 0; w.Read(count) >= size; tries++ {
+				if tries > 2*items {
+					return // consumer stalled; give up quietly
+				}
+				w.Yield()
+			}
+			w.Write(buf[in], int64(i))
+			in = (in + 1) % size
+			c := w.Read(count)
+			w.Write(count, c+1) // non-atomic: the bug
+		}
+	})
+	consumer := t.Go("consumer", func(w *exec.Thread) {
+		out := 0
+		for i := 1; i <= items; i++ {
+			for tries := 0; w.Read(count) <= 0; tries++ {
+				if tries > 2*items {
+					return
+				}
+				w.Yield()
+			}
+			v := w.Read(buf[out])
+			out = (out + 1) % size
+			c := w.Read(count)
+			w.Write(count, c-1) // non-atomic: the bug
+			w.Assertf(v == int64(i), "FIFO order broken: got %d want %d", v, i)
+		}
+	})
+	t.JoinAll(producer, consumer)
+}
+
+// deadlock01Program: unconditional ABBA deadlock.
+func deadlock01Program(t *exec.Thread) {
+	mA := t.NewMutex("A")
+	mB := t.NewMutex("B")
+	t1 := t.Go("t1", func(w *exec.Thread) {
+		w.Lock(mA)
+		w.Yield()
+		w.Lock(mB)
+		w.Unlock(mB)
+		w.Unlock(mA)
+	})
+	t2 := t.Go("t2", func(w *exec.Thread) {
+		w.Lock(mB)
+		w.Yield()
+		w.Lock(mA)
+		w.Unlock(mA)
+		w.Unlock(mB)
+	})
+	t.JoinAll(t1, t2)
+}
+
+// lazy01Program: the SV-COMP lazy01 three-thread assertion.
+func lazy01Program(t *exec.Thread) {
+	m := t.NewMutex("m")
+	data := t.NewVar("data", 0)
+	t1 := t.Go("t1", func(w *exec.Thread) {
+		w.Lock(m)
+		d := w.Read(data)
+		w.Write(data, d+1)
+		w.Unlock(m)
+	})
+	t2 := t.Go("t2", func(w *exec.Thread) {
+		w.Lock(m)
+		d := w.Read(data)
+		w.Write(data, d+2)
+		w.Unlock(m)
+	})
+	t3 := t.Go("t3", func(w *exec.Thread) {
+		w.Lock(m)
+		d := w.Read(data)
+		w.Unlock(m)
+		w.Assert(d < 3, "reader observed both updates (lazy01 reachable assert)")
+	})
+	t.JoinAll(t1, t2, t3)
+}
+
+// queueProgram: FIFO with a racy shared element count.
+func queueProgram(t *exec.Thread) {
+	const n = 4
+	slots := t.NewVars("q", n, 0)
+	amount := t.NewVar("amount", 0)
+
+	enq := t.Go("enqueue", func(w *exec.Thread) {
+		for i := 1; i <= n; i++ {
+			// BUG: the element count is published before the slot is
+			// written, so a racing dequeuer can read an empty slot.
+			a := w.Read(amount)
+			w.Write(amount, a+1)
+			w.Write(slots[i-1], int64(i))
+		}
+	})
+	deq := t.Go("dequeue", func(w *exec.Thread) {
+		got := 0
+		for tries := 0; got < n && tries < 6*n; tries++ {
+			a := w.Read(amount)
+			if a <= 0 {
+				w.Yield()
+				continue
+			}
+			v := w.Read(slots[got])
+			w.Assertf(v == int64(got+1), "dequeued %d want %d (count published early)", v, got+1)
+			got++
+			w.Write(amount, a-1)
+		}
+	})
+	t.JoinAll(enq, deq)
+}
+
+// stackProgram follows the SV-COMP stack_bad shape: pushes and pops are
+// individually locked, but the popper gates on a sticky "stack has
+// elements" flag instead of the live count, so it can pop from an empty
+// stack.
+func stackProgram(t *exec.Thread) {
+	const size = 3
+	arr := t.NewVars("s", size, 0)
+	top := t.NewVar("top", 0)
+	flag := t.NewVar("flag", 0)
+	m := t.NewMutex("m")
+
+	pusher := t.Go("push", func(w *exec.Thread) {
+		for i := 1; i <= size; i++ {
+			w.Lock(m)
+			tp := w.Read(top)
+			w.Write(arr[tp], int64(i))
+			w.Write(top, tp+1)
+			w.Write(flag, 1) // "stack non-empty" — never cleared: the bug
+			w.Unlock(m)
+		}
+	})
+	popper := t.Go("pop", func(w *exec.Thread) {
+		for i := 0; i < size; i++ {
+			w.Lock(m)
+			if w.Read(flag) != 0 {
+				tp := w.Read(top)
+				w.Assertf(tp > 0, "pop from empty stack (stale non-empty flag)")
+				w.Read(arr[tp-1])
+				w.Write(top, tp-1)
+			}
+			w.Unlock(m)
+		}
+	})
+	t.JoinAll(pusher, popper)
+}
+
+// tokenRingProgram: four unsynchronized token increments.
+func tokenRingProgram(t *exec.Thread) {
+	token := t.NewVar("token", 0)
+	const n = 4
+	threads := make([]*exec.Thread, n)
+	for i := range threads {
+		threads[i] = t.Go("node", func(w *exec.Thread) {
+			v := w.Read(token)
+			w.Write(token, v+1)
+		})
+	}
+	t.JoinAll(threads...)
+	t.Assertf(t.Read(token) == n, "token lost in the ring: %d/%d", t.Read(token), n)
+}
+
+// wronglockProgram: nRight threads guard the counter with the correct lock,
+// nWrong threads with a different one.
+func wronglockProgram(nRight, nWrong int) exec.Program {
+	return func(t *exec.Thread) {
+		data := t.NewVar("data", 0)
+		lockL := t.NewMutex("L")
+		lockM := t.NewMutex("M")
+		total := nRight + nWrong
+		threads := make([]*exec.Thread, 0, total)
+		for i := 0; i < nRight; i++ {
+			threads = append(threads, t.Go("right", func(w *exec.Thread) {
+				w.Lock(lockL)
+				d := w.Read(data)
+				w.Write(data, d+1)
+				w.Unlock(lockL)
+			}))
+		}
+		for i := 0; i < nWrong; i++ {
+			threads = append(threads, t.Go("wrong", func(w *exec.Thread) {
+				w.Lock(lockM)
+				d := w.Read(data)
+				w.Write(data, d+1)
+				w.Unlock(lockM)
+			}))
+		}
+		t.JoinAll(threads...)
+		t.Assertf(t.Read(data) == int64(total), "update lost under mismatched locks: %d/%d",
+			t.Read(data), total)
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import "rff/internal/exec"
+
+// The Extras suite goes beyond the paper's 49 subjects: curated programs
+// exercising the engine's remaining pthread surface (reader-writer locks,
+// semaphores, trylock, barriers), in the spirit of the artifact's
+// "additional curated examples not discussed in the paper". They are
+// excluded from the paper-reproduction matrix by default.
+
+func init() {
+	register(Program{
+		Name: "Extras/reorder_2", Suite: "Extras", Bug: BugAssert, Threads: 3,
+		Desc: "two-setter reorder, small enough for exhaustive enumeration — the subject of the E8 reads-from class count",
+		Body: reorderProgram(2),
+	})
+	register(Program{
+		Name: "Extras/rwlock_upgrade", Suite: "Extras", Bug: BugAssert, Threads: 3,
+		Desc: "two readers release the rwlock and re-acquire it as writers to apply an update computed under the read lock: the classic unsafe upgrade loses one update",
+		Body: rwlockUpgradeProgram,
+	})
+	register(Program{
+		Name: "Extras/semaphore_leak", Suite: "Extras", Bug: BugDeadlock, Threads: 2,
+		Desc: "the producer's error path skips its sem_post, deadlocking a consumer that already committed to waiting",
+		Body: semaphoreLeakProgram,
+	})
+	register(Program{
+		Name: "Extras/trylock_fallback", Suite: "Extras", Bug: BugAssert, Threads: 2,
+		Desc: "a trylock failure takes an unsynchronized fallback path that races the lock holder",
+		Body: trylockFallbackProgram,
+	})
+	register(Program{
+		Name: "Extras/barrier_phase_leak", Suite: "Extras", Bug: BugAssert, Threads: 3,
+		Desc: "one worker updates the next phase's input before the barrier because its guard reads a stale phase counter",
+		Body: barrierPhaseLeakProgram,
+	})
+}
+
+// rwlockUpgradeProgram: read-compute-upgrade-write without holding the
+// lock across the upgrade.
+func rwlockUpgradeProgram(t *exec.Thread) {
+	rw := t.NewRWMutex("rw")
+	counter := t.NewVar("counter", 0)
+	upgrader := func(w *exec.Thread) {
+		w.RLock(rw)
+		v := w.Read(counter) // compute under shared lock
+		w.RUnlock(rw)
+		w.WLock(rw) // unsafe upgrade: the world may have changed
+		w.Write(counter, v+1)
+		w.WUnlock(rw)
+	}
+	a, b := t.Go("a", upgrader), t.Go("b", upgrader)
+	t.JoinAll(a, b)
+	t.Assertf(t.Read(counter) == 2, "upgrade lost an update: %d/2", t.Read(counter))
+}
+
+// semaphoreLeakProgram: a sem_post skipped on the racy error path.
+func semaphoreLeakProgram(t *exec.Thread) {
+	items := t.NewSemaphore("items", 0)
+	errFlag := t.NewVar("err", 0)
+	consumer := t.Go("consumer", func(w *exec.Thread) {
+		if w.Read(errFlag) != 0 {
+			return // producer reported failure before we committed
+		}
+		w.SemWait(items) // may wait forever if the producer bailed late
+	})
+	producer := t.Go("producer", func(w *exec.Thread) {
+		// The producer fails after the consumer's error check but
+		// before posting.
+		w.Write(errFlag, 1)
+		// BUG: early return on error skips w.SemPost(items).
+	})
+	t.JoinAll(consumer, producer)
+}
+
+// trylockFallbackProgram: failed trylock falls back to unsynchronized
+// access.
+func trylockFallbackProgram(t *exec.Thread) {
+	m := t.NewMutex("m")
+	shared := t.NewVar("shared", 0)
+	holder := t.Go("holder", func(w *exec.Thread) {
+		w.Lock(m)
+		v := w.Read(shared)
+		w.Yield()
+		w.Write(shared, v+10)
+		w.Unlock(m)
+	})
+	opportunist := t.Go("opportunist", func(w *exec.Thread) {
+		if w.TryLock(m) {
+			v := w.Read(shared)
+			w.Write(shared, v+1)
+			w.Unlock(m)
+			return
+		}
+		// BUG: lock busy — update anyway.
+		v := w.Read(shared)
+		w.Write(shared, v+1)
+	})
+	t.JoinAll(holder, opportunist)
+	t.Assertf(t.Read(shared) == 11, "fallback path lost an update: %d/11", t.Read(shared))
+}
+
+// barrierPhaseLeakProgram: a stale phase-guard lets one worker run ahead.
+func barrierPhaseLeakProgram(t *exec.Thread) {
+	bar := t.NewBarrier("phase", 2)
+	input := t.NewVar("input", 1)
+	phase := t.NewVar("phase_no", 0)
+	fast := t.Go("fast", func(w *exec.Thread) {
+		if w.Read(phase) == 0 {
+			// BUG: believes phase 0 is still running and "pre-stages"
+			// phase 1 input early.
+			w.Write(input, 2)
+		}
+		w.BarrierWait(bar)
+	})
+	slow := t.Go("slow", func(w *exec.Thread) {
+		v := w.Read(input) // phase-0 computation
+		w.Write(phase, 1)
+		w.BarrierWait(bar)
+		w.Assertf(v == 1, "phase-0 read saw phase-1 input: %d", v)
+	})
+	t.JoinAll(fast, slow)
+}

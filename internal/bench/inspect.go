@@ -1,0 +1,150 @@
+package bench
+
+import "rff/internal/exec"
+
+// The Inspect suite ports the University of Utah Inspect benchmarks used
+// in SCTBench: a condition-variable bounded buffer with the classic
+// if-instead-of-while wakeup bug, the ctrace library race, and the
+// qsort_mt work-handoff termination race.
+
+func init() {
+	register(Program{
+		Name: "Inspect_benchmarks/boundedBuffer", Suite: "Inspect", Bug: BugAssert, Threads: 4,
+		Desc: "two producers and two consumers share one condition variable and re-check with `if`: a wrong wakeup overflows or underflows the buffer",
+		Body: boundedBufferProgram,
+	})
+	register(Program{
+		Name: "Inspect_benchmarks/ctrace-test", Suite: "Inspect", Bug: BugAssert, Threads: 2,
+		Desc: "the ctrace event counter is updated without the trace lock; a lost update trips the final count assert",
+		Body: ctraceProgram,
+	})
+	register(Program{
+		Name: "Inspect_benchmarks/qsort_mt", Suite: "Inspect", Bug: BugAssert, Threads: 3,
+		Desc: "parallel quicksort decrements the pending-work counter before enqueueing subtasks: workers can observe a transiently idle pool and terminate early",
+		Body: qsortMTProgram,
+	})
+}
+
+// boundedBufferProgram: capacity-1 buffer, one shared condition variable,
+// `if` re-checks — the canonical wrong-wakeup bug.
+func boundedBufferProgram(t *exec.Thread) {
+	const cap = 1
+	const perThread = 2
+	m := t.NewMutex("m")
+	cv := t.NewCond("cv", m)
+	count := t.NewVar("count", 0)
+
+	producer := func(w *exec.Thread) {
+		for i := 0; i < perThread; i++ {
+			w.Lock(m)
+			if w.Read(count) == cap {
+				w.Wait(cv) // BUG: must be `while`
+			}
+			c := w.Read(count)
+			w.Assertf(c < cap, "buffer overflow: count=%d", c)
+			w.Write(count, c+1)
+			w.Signal(cv)
+			w.Unlock(m)
+		}
+	}
+	consumer := func(w *exec.Thread) {
+		for i := 0; i < perThread; i++ {
+			w.Lock(m)
+			if w.Read(count) == 0 {
+				w.Wait(cv) // BUG: must be `while`
+			}
+			c := w.Read(count)
+			w.Assertf(c > 0, "buffer underflow: count=%d", c)
+			w.Write(count, c-1)
+			w.Signal(cv)
+			w.Unlock(m)
+		}
+	}
+	p1 := t.Go("p1", producer)
+	p2 := t.Go("p2", producer)
+	c1 := t.Go("c1", consumer)
+	c2 := t.Go("c2", consumer)
+	t.JoinAll(p1, p2, c1, c2)
+}
+
+// ctraceProgram: trace events counted without the lock.
+func ctraceProgram(t *exec.Thread) {
+	events := t.NewVar("trace_events", 0)
+	lock := t.NewMutex("trace_lock")
+	worker := func(w *exec.Thread) {
+		w.Lock(lock)
+		w.Unlock(lock) // the lock guards the buffer, not the counter
+		e := w.Read(events)
+		w.Write(events, e+1)
+	}
+	a := t.Go("a", worker)
+	b := t.Go("b", worker)
+	t.JoinAll(a, b)
+	t.Assertf(t.Read(events) == 2, "trace event lost: %d/2", t.Read(events))
+}
+
+// qsortMTProgram: a three-worker task pool where the root task spawns two
+// subtasks but the shared pending counter is decremented before the
+// subtasks are enqueued, opening a termination race.
+func qsortMTProgram(t *exec.Thread) {
+	const workers = 3
+	queue := t.NewVars("task", 4, 0) // task slots; value = task id + 1
+	qlen := t.NewVar("qlen", 0)
+	qlock := t.NewMutex("qlock")
+	pending := t.NewVar("pending", 1)
+	processed := t.NewVar("processed", 0)
+
+	// Seed the root task (id 1).
+	t.Write(queue[0], 1)
+	t.Write(qlen, 1)
+
+	worker := func(w *exec.Thread) {
+		// Each worker handles at most two partitions before retiring, as
+		// in the original's bounded thread pool.
+		done := 0
+		for tries := 0; tries < 24 && done < 2; tries++ {
+			if w.Read(pending) == 0 {
+				return // pool looks idle: terminate (possibly too early)
+			}
+			w.Lock(qlock)
+			n := w.Read(qlen)
+			var task int64
+			if n > 0 {
+				task = w.Read(queue[n-1])
+				w.Write(qlen, n-1)
+			}
+			w.Unlock(qlock)
+			if task == 0 {
+				w.Yield()
+				continue
+			}
+			// "Sort" the partition.
+			w.AtomicAdd(processed, 1)
+			done++
+			if task == 1 {
+				// BUG: the root marks itself done before publishing its
+				// two subtasks, so pending transiently reads 0.
+				p := w.Read(pending)
+				w.Write(pending, p-1)
+				w.Lock(qlock)
+				n := w.Read(qlen)
+				w.Write(queue[n], 2)
+				w.Write(queue[n+1], 3)
+				w.Write(qlen, n+2)
+				w.Unlock(qlock)
+				p = w.Read(pending)
+				w.Write(pending, p+2)
+			} else {
+				p := w.Read(pending)
+				w.Write(pending, p-1)
+			}
+		}
+	}
+	ws := make([]*exec.Thread, workers)
+	for i := range ws {
+		ws[i] = t.Go("worker", worker)
+	}
+	t.JoinAll(ws...)
+	t.Assertf(t.Read(processed) == 3, "partitions left unsorted: %d/3 (early termination)",
+		t.Read(processed))
+}

@@ -1,0 +1,127 @@
+package bench
+
+// PaperCell is one cell of the paper's Appendix B table: the mean ± std
+// schedules-to-first-bug a tool reported on a program over 20 trials.
+type PaperCell struct {
+	Mean, Std float64
+	// Partial marks "*": the tool missed the bug in at least one trial.
+	Partial bool
+	// Never marks "-": the tool never found the bug.
+	Never bool
+	// Error marks "Error": the tool could not run the program at all
+	// (most GenMC rows).
+	Error bool
+	// NoDeadlock marks "†": the tool does not explicitly detect
+	// deadlocks.
+	NoDeadlock bool
+}
+
+// String renders the cell in the paper's notation.
+func (c PaperCell) String() string {
+	switch {
+	case c.Error:
+		return "Error"
+	case c.Never:
+		return "-"
+	}
+	s := itoa(int(c.Mean)) + " ± " + itoa(int(c.Std))
+	if c.Partial {
+		s += "*"
+	}
+	if c.NoDeadlock {
+		s += "†"
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// PaperTools lists the Appendix B column order.
+var PaperTools = []string{"PCT3", "PERIOD", "RFF", "POS", "QLearning-RF", "GenMC"}
+
+func cell(mean, std float64) PaperCell { return PaperCell{Mean: mean, Std: std} }
+func star(mean, std float64) PaperCell { return PaperCell{Mean: mean, Std: std, Partial: true} }
+func starDag(mean, std float64) PaperCell {
+	return PaperCell{Mean: mean, Std: std, Partial: true, NoDeadlock: true}
+}
+func dag(mean, std float64) PaperCell { return PaperCell{Mean: mean, Std: std, NoDeadlock: true} }
+func never() PaperCell                { return PaperCell{Never: true} }
+func errc() PaperCell                 { return PaperCell{Error: true} }
+
+// PaperAppendixB is the paper's Appendix B ("Mean Number of Schedules to
+// 1st Bug"), transcribed verbatim. Keyed by program, then tool (see
+// PaperTools). Used by EXPERIMENTS.md generation to place reproduced
+// numbers next to the originals.
+var PaperAppendixB = map[string]map[string]PaperCell{
+	"CB/aget-bug2":                    {"PCT3": cell(1, 0), "PERIOD": cell(9, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"CB/pbzip2-0.9.4":                 {"PCT3": never(), "PERIOD": star(45, 6), "RFF": star(2, 0), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CB/stringbuffer-jdk1.4":          {"PCT3": cell(195, 174), "PERIOD": cell(27, 37), "RFF": cell(15, 18), "POS": cell(18, 23), "QLearning-RF": cell(1405, 1592), "GenMC": errc()},
+	"CS/account":                      {"PCT3": cell(9, 7), "PERIOD": cell(10, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(6, 8), "GenMC": cell(5, 0)},
+	"CS/bluetooth_driver":             {"PCT3": cell(161, 162), "PERIOD": cell(9, 0), "RFF": cell(45, 35), "POS": cell(72, 79), "QLearning-RF": cell(155, 154), "GenMC": cell(4, 0)},
+	"CS/carter01":                     {"PCT3": cell(5, 4), "PERIOD": starDag(4, 1), "RFF": cell(2, 1), "POS": cell(2, 1), "QLearning-RF": cell(1, 0), "GenMC": dag(4, 0)},
+	"CS/circular_buffer":              {"PCT3": cell(5, 4), "PERIOD": cell(3, 0), "RFF": cell(2, 1), "POS": cell(2, 1), "QLearning-RF": cell(2, 1), "GenMC": cell(8, 0)},
+	"CS/deadlock01":                   {"PCT3": cell(20, 20), "PERIOD": dag(3, 0), "RFF": cell(5, 4), "POS": cell(4, 3), "QLearning-RF": cell(1, 0), "GenMC": dag(3, 0)},
+	"CS/lazy01":                       {"PCT3": cell(10, 6), "PERIOD": cell(7, 2), "RFF": cell(6, 6), "POS": cell(5, 4), "QLearning-RF": cell(12, 15), "GenMC": cell(5, 0)},
+	"CS/queue":                        {"PCT3": cell(12, 14), "PERIOD": cell(4, 1), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(1, 0), "GenMC": cell(22, 0)},
+	"CS/reorder_10":                   {"PCT3": cell(2356, 2302), "PERIOD": cell(27, 0), "RFF": cell(6, 4), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/reorder_100":                  {"PCT3": star(7447, 0), "PERIOD": cell(297, 0), "RFF": cell(6, 4), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/reorder_20":                   {"PCT3": cell(2128, 2284), "PERIOD": cell(39, 0), "RFF": cell(6, 4), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/reorder_3":                    {"PCT3": cell(241, 336), "PERIOD": cell(6, 0), "RFF": cell(7, 5), "POS": cell(223, 166), "QLearning-RF": star(45843, 32338), "GenMC": errc()},
+	"CS/reorder_4":                    {"PCT3": cell(395, 320), "PERIOD": cell(9, 0), "RFF": cell(6, 5), "POS": cell(1464, 1829), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/reorder_5":                    {"PCT3": cell(1126, 1045), "PERIOD": cell(12, 0), "RFF": cell(6, 4), "POS": star(4377, 4208), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/reorder_50":                   {"PCT3": star(12346, 6682), "PERIOD": cell(129, 0), "RFF": cell(6, 4), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/stack":                        {"PCT3": cell(2, 2), "PERIOD": cell(8, 0), "RFF": cell(2, 1), "POS": cell(2, 2), "QLearning-RF": cell(1, 0), "GenMC": cell(20, 0)},
+	"CS/token_ring":                   {"PCT3": cell(8, 6), "PERIOD": cell(2, 0), "RFF": cell(5, 5), "POS": cell(7, 5), "QLearning-RF": cell(12, 12), "GenMC": cell(14, 0)},
+	"CS/twostage":                     {"PCT3": cell(9, 9), "PERIOD": cell(4, 0), "RFF": cell(8, 7), "POS": cell(15, 16), "QLearning-RF": cell(336, 501), "GenMC": cell(3, 0)},
+	"CS/twostage_100":                 {"PCT3": star(3888, 3473), "PERIOD": cell(690, 0), "RFF": cell(56, 71), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/twostage_20":                  {"PCT3": cell(188, 168), "PERIOD": cell(76, 0), "RFF": cell(22, 19), "POS": cell(185, 215), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/twostage_50":                  {"PCT3": cell(849, 870), "PERIOD": cell(286, 0), "RFF": cell(35, 27), "POS": star(1984, 1238), "QLearning-RF": never(), "GenMC": errc()},
+	"CS/wronglock":                    {"PCT3": cell(88, 98), "PERIOD": cell(4, 2), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(37, 32), "GenMC": cell(3, 0)},
+	"CS/wronglock_3":                  {"PCT3": cell(40, 36), "PERIOD": cell(5, 1), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(37, 32), "GenMC": errc()},
+	"Chess/InterlockedWorkStealQueue": {"PCT3": star(24, 19), "PERIOD": cell(57, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": never(), "GenMC": errc()},
+	"Chess/InterlockedWorkStealQueueWithState": {"PCT3": star(16, 0), "PERIOD": cell(224, 80), "RFF": cell(7, 6), "POS": cell(9, 9), "QLearning-RF": cell(16, 14), "GenMC": errc()},
+	"Chess/StateWorkStealQueue":                {"PCT3": star(12, 0), "PERIOD": cell(249, 101), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": never(), "GenMC": errc()},
+	"Chess/WorkStealQueue":                     {"PCT3": cell(12, 14), "PERIOD": cell(57, 0), "RFF": cell(10, 8), "POS": cell(10, 9), "QLearning-RF": never(), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2009-3547":      {"PCT3": cell(6, 5), "PERIOD": cell(2, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2011-2183":      {"PCT3": cell(9, 9), "PERIOD": cell(3, 0), "RFF": cell(2, 2), "POS": cell(2, 1), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2013-1792":      {"PCT3": cell(87, 65), "PERIOD": cell(13, 0), "RFF": cell(23, 43), "POS": cell(50, 62), "QLearning-RF": cell(388, 361), "GenMC": cell(1, 0)},
+	"ConVul-CVE-Benchmarks/CVE-2015-7550":      {"PCT3": cell(8, 7), "PERIOD": cell(3, 0), "RFF": cell(6, 5), "POS": cell(7, 7), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2016-1972":      {"PCT3": never(), "PERIOD": star(3, 0), "RFF": cell(39, 29), "POS": cell(86, 78), "QLearning-RF": star(74, 39), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2016-1973":      {"PCT3": cell(8, 5), "PERIOD": cell(6, 0), "RFF": cell(3, 3), "POS": cell(7, 6), "QLearning-RF": cell(5947, 6063), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2016-7911":      {"PCT3": cell(16, 13), "PERIOD": cell(3, 0), "RFF": cell(13, 10), "POS": cell(12, 11), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2016-9806":      {"PCT3": cell(4, 3), "PERIOD": cell(6, 0), "RFF": cell(11, 8), "POS": cell(14, 10), "QLearning-RF": cell(554, 577), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2017-15265":     {"PCT3": never(), "PERIOD": cell(11, 0), "RFF": cell(36, 39), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"ConVul-CVE-Benchmarks/CVE-2017-6346":      {"PCT3": cell(15, 11), "PERIOD": cell(5, 0), "RFF": cell(5, 4), "POS": cell(13, 14), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"Inspect_benchmarks/boundedBuffer":         {"PCT3": cell(15, 16), "PERIOD": star(8, 7), "RFF": cell(8, 7), "POS": cell(6, 5), "QLearning-RF": cell(14, 13), "GenMC": errc()},
+	"Inspect_benchmarks/ctrace-test":           {"PCT3": cell(1, 0), "PERIOD": cell(3, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(1, 0), "GenMC": cell(1, 0)},
+	"Inspect_benchmarks/qsort_mt":              {"PCT3": cell(3838, 4458), "PERIOD": cell(27, 0), "RFF": cell(322, 344), "POS": cell(646, 753), "QLearning-RF": never(), "GenMC": errc()},
+	"SafeStack":                                {"PCT3": never(), "PERIOD": never(), "RFF": never(), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"Splash2/barnes":                           {"PCT3": never(), "PERIOD": cell(2, 0), "RFF": cell(3, 3), "POS": cell(2, 2), "QLearning-RF": cell(2, 1), "GenMC": errc()},
+	"Splash2/fft":                              {"PCT3": cell(1, 0), "PERIOD": cell(2, 0), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+	"Splash2/lu":                               {"PCT3": never(), "PERIOD": cell(2, 1), "RFF": cell(1, 0), "POS": cell(1, 0), "QLearning-RF": cell(47, 38), "GenMC": errc()},
+	"RADBench/bug4":                            {"PCT3": star(15599, 9907), "PERIOD": never(), "RFF": cell(163, 151), "POS": cell(216, 209), "QLearning-RF": never(), "GenMC": errc()},
+	"RADBench/bug5":                            {"PCT3": never(), "PERIOD": never(), "RFF": never(), "POS": never(), "QLearning-RF": never(), "GenMC": errc()},
+	"RADBench/bug6":                            {"PCT3": cell(61, 49), "PERIOD": dag(24, 0), "RFF": cell(4, 3), "POS": cell(11, 8), "QLearning-RF": cell(1, 0), "GenMC": errc()},
+}
+
+// PaperCellFor returns the paper's cell for (program, tool), if recorded.
+func PaperCellFor(program, tool string) (PaperCell, bool) {
+	row, ok := PaperAppendixB[program]
+	if !ok {
+		return PaperCell{}, false
+	}
+	c, ok := row[tool]
+	return c, ok
+}

@@ -1,0 +1,73 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rff/internal/bench"
+)
+
+func TestPaperDataCoversRegistry(t *testing.T) {
+	// Every registered program must have a paper row (CS/twostage_4/5-style
+	// rows we did not port are simply absent from both sides).
+	for _, p := range bench.All() {
+		if p.Suite == "Extras" {
+			continue // beyond the paper's subject set by design
+		}
+		if _, ok := bench.PaperAppendixB[p.Name]; !ok {
+			t.Errorf("program %q has no paper Appendix B row", p.Name)
+		}
+	}
+}
+
+func TestPaperDataRowsComplete(t *testing.T) {
+	for prog, row := range bench.PaperAppendixB {
+		for _, tool := range bench.PaperTools {
+			if _, ok := row[tool]; !ok {
+				t.Errorf("paper row %q missing tool %q", prog, tool)
+			}
+		}
+		if len(row) != len(bench.PaperTools) {
+			t.Errorf("paper row %q has %d cells, want %d", prog, len(row), len(bench.PaperTools))
+		}
+	}
+}
+
+func TestPaperCellRendering(t *testing.T) {
+	cases := map[string]bench.PaperCell{
+		"6 ± 4":   {Mean: 6, Std: 4},
+		"45 ± 6*": {Mean: 45, Std: 6, Partial: true},
+		"3 ± 0†":  {Mean: 3, Std: 0, NoDeadlock: true},
+		"4 ± 1*†": {Mean: 4, Std: 1, Partial: true, NoDeadlock: true},
+		"-":       {Never: true},
+		"Error":   {Error: true},
+	}
+	for want, cell := range cases {
+		if got := cell.String(); got != want {
+			t.Errorf("cell %+v renders %q, want %q", cell, got, want)
+		}
+	}
+}
+
+func TestPaperCellFor(t *testing.T) {
+	c, ok := bench.PaperCellFor("CS/reorder_100", "RFF")
+	if !ok || c.Mean != 6 || c.Std != 4 {
+		t.Fatalf("reorder_100 RFF cell wrong: %+v ok=%v", c, ok)
+	}
+	if _, ok := bench.PaperCellFor("CS/reorder_100", "NoSuchTool"); ok {
+		t.Fatal("phantom tool")
+	}
+	if _, ok := bench.PaperCellFor("NoSuchProgram", "RFF"); ok {
+		t.Fatal("phantom program")
+	}
+	// The headline SafeStack row: nobody finds it.
+	for _, tool := range bench.PaperTools {
+		c, _ := bench.PaperCellFor("SafeStack", tool)
+		if tool == "GenMC" {
+			if !c.Error {
+				t.Errorf("SafeStack GenMC should be Error")
+			}
+		} else if !c.Never {
+			t.Errorf("SafeStack %s should be '-'", tool)
+		}
+	}
+}

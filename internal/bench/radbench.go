@@ -1,0 +1,124 @@
+package bench
+
+import "rff/internal/exec"
+
+// The RADBench suite ports the three RADBench browser bugs SCTBench uses:
+// two deep SpiderMonkey races (bug4, bug5) and a Chromium condition-
+// variable deadlock (bug6). bug4 and especially bug5 are among the hardest
+// subjects in the paper's table — bug5 is found by no tool in any trial.
+
+func init() {
+	register(Program{
+		Name: "RADBench/bug4", Suite: "RADBench", Bug: BugMemory, Threads: 3,
+		Desc: "SpiderMonkey atomize race: two threads insert the same atom while the GC sweeps the table; needs a three-way ordering chain",
+		Body: radBug4Program,
+	})
+	register(Program{
+		Name: "RADBench/bug5", Suite: "RADBench", Bug: BugAssert, Threads: 3,
+		Desc: "SpiderMonkey request-depth race requiring a six-step ordering chain across three threads; no evaluated tool finds it",
+		Body: radBug5Program,
+	})
+	register(Program{
+		Name: "RADBench/bug6", Suite: "RADBench", Bug: BugDeadlock, Threads: 2,
+		Desc: "Chromium watchdog: the disarm signal can fire between the watcher's check and wait, hanging the watcher forever",
+		Body: radBug6Program,
+	})
+}
+
+// radBug4Program: check-insert-sweep chain across three threads.
+func radBug4Program(t *exec.Thread) {
+	table := t.NewVar("atom_table", 0) // 0 empty, 1 inserted
+	pinned := t.NewVar("pinned", 0)
+	atom := NewObj(t, "atom")
+
+	atomizeA := t.Go("atomizeA", func(w *exec.Thread) {
+		if w.Read(table) == 0 {
+			w.Write(table, 1) // insert the atom
+			w.Write(pinned, 1)
+		}
+		atom.Use(w)
+	})
+	atomizeB := t.Go("atomizeB", func(w *exec.Thread) {
+		if w.Read(table) == 0 {
+			// Double insert: both threads saw the table empty. The
+			// second insert unpins the first thread's atom.
+			w.Write(table, 1)
+			w.Write(pinned, 0)
+		}
+		atom.Use(w)
+	})
+	gc := t.Go("gc_sweep", func(w *exec.Thread) {
+		if w.Read(table) == 1 && w.Read(pinned) == 0 {
+			atom.FreeUnchecked(w) // sweep the unpinned atom
+		}
+	})
+	t.JoinAll(atomizeA, atomizeB, gc)
+}
+
+// radBug5Program: the failure requires a perfect 16-step request/GC
+// alternation on the depth counter — the same pair of abstract events
+// must hand off correctly at every loop iteration, a *temporal* pattern a
+// single set of reads-from constraints cannot pin down (RFF's positive
+// constraints are existential and retire after one satisfaction). Every
+// mis-step bails out silently. This mirrors the paper's bug5 row, which
+// no evaluated tool exposes in any trial.
+func radBug5Program(t *exec.Thread) {
+	const rounds = 8
+	depth := t.NewVar("request_depth", 0)
+	done := t.NewVar("gc_done", 0)
+
+	requester := t.Go("requester", func(w *exec.Thread) {
+		for i := int64(0); i < rounds; i++ {
+			if w.Read(depth) != 2*i {
+				return // GC fell behind or raced ahead: normal path
+			}
+			w.Write(depth, 2*i+1)
+		}
+		// Perfect alternation survived: the request outran every GC
+		// acknowledgement. If the GC has not finished either, the
+		// original deadlocks on the request depth — modelled as the
+		// assertion below.
+		w.Assert(w.Read(done) != 0, "request depth corrupted after full alternation")
+	})
+	gc := t.Go("gc", func(w *exec.Thread) {
+		for i := int64(0); i < rounds; i++ {
+			if w.Read(depth) != 2*i+1 {
+				return
+			}
+			w.Write(depth, 2*i+2)
+		}
+		w.Write(done, 1)
+	})
+	helper := t.Go("helper", func(w *exec.Thread) {
+		// The helper only observes; its reads enrich the reads-from
+		// space without participating in the failure.
+		w.Read(depth)
+		w.Read(done)
+		w.Read(depth)
+	})
+	t.JoinAll(requester, gc, helper)
+}
+
+// radBug6Program: watchdog disarm signal lost between check and wait.
+func radBug6Program(t *exec.Thread) {
+	m := t.NewMutex("watchdog_lock")
+	cv := t.NewCond("watchdog_cv", m)
+	armed := t.NewVar("armed", 1)
+
+	watcher := t.Go("watcher", func(w *exec.Thread) {
+		// BUG: the armed check happens before taking the lock, so the
+		// disarm signal can fire in the gap.
+		if w.Read(armed) == 1 {
+			w.Lock(m)
+			w.Wait(cv)
+			w.Unlock(m)
+		}
+	})
+	disarmer := t.Go("disarmer", func(w *exec.Thread) {
+		w.Write(armed, 0)
+		w.Lock(m)
+		w.Signal(cv)
+		w.Unlock(m)
+	})
+	t.JoinAll(watcher, disarmer)
+}

@@ -1,0 +1,89 @@
+package bench
+
+import "rff/internal/exec"
+
+// SafeStack is the hardest subject in the paper's evaluation: the
+// lock-free index stack from RADBench (originating in a ThreadSanitizer
+// test by Dmitry Vyukov). Its ABA bug needs three threads and a long,
+// precise interleaving; no evaluated tool exposes it within the time
+// budget. The paper uses it for the Figure 5 exploration-evenness
+// experiment because its CAS loops generate a rich space of reads-from
+// combinations.
+
+func init() {
+	register(Program{
+		Name: "SafeStack", Suite: "SafeStack", Bug: BugNone, Threads: 3,
+		Desc: "lock-free index stack with an ABA window between reading head->next and the CAS; three threads pop/push concurrently",
+		Body: safeStackProgram,
+	})
+}
+
+// safeStackProgram implements the SafeStack algorithm over engine vars:
+// head holds the index of the top node, next[i] links node i to its
+// successor, count tracks occupancy. Pop reads head and next[head], then
+// CASes head to the successor — the unprotected gap between the next read
+// and the CAS is the ABA window.
+func safeStackProgram(t *exec.Thread) {
+	const n = 6
+	head := t.NewVar("head", 0)
+	count := t.NewVar("count", n)
+	next := t.NewVars("next", n, 0)
+	owned := t.NewVars("owned", n, 0) // oracle: at most one owner per node
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			t.Write(next[i], -1)
+		} else {
+			t.Write(next[i], int64(i+1))
+		}
+	}
+
+	pop := func(w *exec.Thread) int64 {
+		for spin := 0; spin < 4; spin++ {
+			if w.Read(count) <= 1 {
+				return -1
+			}
+			h := w.Read(head)
+			if h < 0 {
+				return -1
+			}
+			nx := w.Read(next[h]) // ABA window opens here
+			if _, ok := w.CAS(head, h, nx); ok {
+				w.AtomicAdd(count, -1)
+				return h
+			}
+			w.Yield()
+		}
+		return -1
+	}
+	push := func(w *exec.Thread, idx int64) {
+		for spin := 0; spin < 6; spin++ {
+			h := w.Read(head)
+			w.Write(next[idx], h)
+			if _, ok := w.CAS(head, h, idx); ok {
+				w.AtomicAdd(count, 1)
+				return
+			}
+			w.Yield()
+		}
+	}
+
+	worker := func(w *exec.Thread) {
+		for round := 0; round < 3; round++ {
+			idx := pop(w)
+			if idx < 0 {
+				w.Yield()
+				continue
+			}
+			// Oracle: an ABA-corrupted CAS hands the same node to two
+			// threads.
+			prev := w.AtomicAdd(owned[idx], 1)
+			w.Assertf(prev == 0, "node %d popped by two threads (ABA)", idx)
+			w.AtomicAdd(owned[idx], -1)
+			push(w, idx)
+		}
+	}
+	a := t.Go("w0", worker)
+	b := t.Go("w1", worker)
+	c := t.Go("w2", worker)
+	t.JoinAll(a, b, c)
+}

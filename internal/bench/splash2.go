@@ -1,0 +1,93 @@
+package bench
+
+import "rff/internal/exec"
+
+// The Splash2 suite ports the three SPLASH-2 kernels SCTBench retains
+// (barnes, fft, lu) down to the shared accesses carrying each harness's
+// planted assertion: global reductions and tree updates performed with
+// missing or wrong-scope locking.
+
+func init() {
+	register(Program{
+		Name: "Splash2/barnes", Suite: "Splash2", Bug: BugAssert, Threads: 3,
+		Desc: "tree-cell body counter updated by three builders with a read-modify-write race under a cell lock taken too late",
+		Body: barnesProgram,
+	})
+	register(Program{
+		Name: "Splash2/fft", Suite: "Splash2", Bug: BugAssert, Threads: 2,
+		Desc: "the transpose-phase checksum is accumulated without the global lock: a lost update breaks the final checksum",
+		Body: fftProgram,
+	})
+	register(Program{
+		Name: "Splash2/lu", Suite: "Splash2", Bug: BugAssert, Threads: 2,
+		Desc: "the pivot column counter races between the factor and update phases",
+		Body: luProgram,
+	})
+}
+
+// barnesProgram: late lock acquisition around a tree-cell update.
+func barnesProgram(t *exec.Thread) {
+	cellBodies := t.NewVar("cell.bodies", 0)
+	cellLock := t.NewMutex("cell.lock")
+	builder := func(w *exec.Thread) {
+		// The original reads the cell state before deciding whether to
+		// lock, so the read races with other builders' updates.
+		n := w.Read(cellBodies)
+		w.Lock(cellLock)
+		w.Write(cellBodies, n+1)
+		w.Unlock(cellLock)
+	}
+	a := t.Go("builder0", builder)
+	b := t.Go("builder1", builder)
+	c := t.Go("builder2", builder)
+	t.JoinAll(a, b, c)
+	t.Assertf(t.Read(cellBodies) == 3, "bodies lost in tree build: %d/3", t.Read(cellBodies))
+}
+
+// fftProgram: the transpose phase is barrier-separated, but worker 0
+// reads its partner's partial sum before reaching the barrier (the
+// code-motion bug) — under the wrong interleaving it folds a zero into
+// the checksum.
+func fftProgram(t *exec.Thread) {
+	bar := t.NewBarrier("transpose", 2)
+	partial := t.NewVars("partial", 2, 0)
+	worker := func(self, other int, val int64) exec.Program {
+		return func(w *exec.Thread) {
+			w.Write(partial[self], val)
+			if self == 0 {
+				// BUG: reads the partner's partial before the barrier.
+				sum := w.Read(partial[0]) + w.Read(partial[other])
+				w.BarrierWait(bar)
+				w.Assertf(sum == 8, "transpose checksum mismatch: %d/8", sum)
+				return
+			}
+			w.BarrierWait(bar)
+		}
+	}
+	a := t.Go("fft0", worker(0, 1, 3))
+	b := t.Go("fft1", worker(1, 0, 5))
+	t.JoinAll(a, b)
+}
+
+// luProgram: pivot counter raced between phases.
+func luProgram(t *exec.Thread) {
+	pivot := t.NewVar("pivot", 0)
+	done := t.NewVar("done", 0)
+	factor := t.Go("factor", func(w *exec.Thread) {
+		p := w.Read(pivot)
+		w.Write(pivot, p+1)
+		w.Write(done, 1)
+	})
+	update := t.Go("update", func(w *exec.Thread) {
+		if w.Read(done) == 1 {
+			return // factorization finished; nothing to race with
+		}
+		// Race ahead of the factor phase and bump the pivot (the bug:
+		// the phases were meant to be barrier-separated).
+		p := w.Read(pivot)
+		w.Write(pivot, p+1)
+		w.Assertf(w.Read(pivot) == p+1, "factor phase raced the update: pivot %d, expected %d",
+			w.Read(pivot), p+1)
+	})
+	t.JoinAll(factor, update)
+}

@@ -1,0 +1,61 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/exec"
+	"rff/internal/race"
+	"rff/internal/sched"
+)
+
+// TestAllProgramTracesValidate runs every registered program under every
+// scheduler family and validates the reads-from invariants of every trace
+// — the suite-wide consistency check tying the benchmarks to the engine's
+// semantics.
+func TestAllProgramTracesValidate(t *testing.T) {
+	mkScheds := func() []exec.Scheduler {
+		return []exec.Scheduler{sched.NewRandom(), sched.NewPOS(), sched.NewPCT(3)}
+	}
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 5; seed++ {
+				for _, s := range mkScheds() {
+					res := exec.Run(p.Name, p.Body, exec.Config{Scheduler: s, Seed: seed, MaxSteps: 5000})
+					if err := res.Trace.Validate(); err != nil {
+						t.Fatalf("seed %d under %s: %v", seed, s.Name(), err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRaceDetectorOnSuite sanity-checks the happens-before detector
+// against the suite's ground truth: the pure-deadlock programs plant no
+// data race, while the racy-assert programs do.
+func TestRaceDetectorOnSuite(t *testing.T) {
+	racy := []string{"CS/account", "CS/token_ring", "Splash2/barnes", "CB/aget-bug2",
+		"Inspect_benchmarks/ctrace-test"}
+	for _, name := range racy {
+		p := bench.MustGet(name)
+		found := false
+		for seed := int64(0); seed < 30 && !found; seed++ {
+			res := exec.Run(p.Name, p.Body, exec.Config{Scheduler: sched.NewRandom(), Seed: seed, MaxSteps: 5000})
+			found = len(race.Detect(res.Trace)) > 0
+		}
+		if !found {
+			t.Errorf("%s: no data race reported in 30 executions of a racy program", name)
+		}
+	}
+	// deadlock01 is fully lock-ordered: its bug is a deadlock, not a race.
+	p := bench.MustGet("CS/deadlock01")
+	for seed := int64(0); seed < 30; seed++ {
+		res := exec.Run(p.Name, p.Body, exec.Config{Scheduler: sched.NewRandom(), Seed: seed, MaxSteps: 5000})
+		if races := race.Detect(res.Trace); len(races) > 0 {
+			t.Fatalf("deadlock01 reported a spurious data race: %v", races[0])
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package campaign runs the evaluation matrix: every (tool, program,
+// trial) combination with a schedule budget, collecting schedules-to-
+// first-bug outcomes. It is the engine behind the Figure 4 curves, the
+// Appendix B table, and the RQ2/RQ4 comparisons.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rff/internal/bench"
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/qlearn"
+	"rff/internal/sched"
+	"rff/internal/stats"
+	"rff/internal/systematic"
+)
+
+// Outcome is the result of one campaign trial.
+type Outcome struct {
+	// FirstBug is the number of schedules until the first failure
+	// (0 = no bug found within the budget).
+	FirstBug int
+	// Executions is the number of schedules actually run.
+	Executions int
+	// Budget is the schedule budget the trial ran under.
+	Budget int
+}
+
+// Found reports whether the trial exposed the bug.
+func (o Outcome) Found() bool { return o.FirstBug > 0 }
+
+// Sample converts the outcome to a survival observation (censored at the
+// budget when no bug was found).
+func (o Outcome) Sample() stats.Sample {
+	if o.Found() {
+		return stats.Sample{Time: float64(o.FirstBug), Observed: true}
+	}
+	return stats.Sample{Time: float64(o.Budget), Observed: false}
+}
+
+// Tool is one concurrency testing technique under evaluation.
+type Tool interface {
+	// Name identifies the tool in reports ("RFF", "POS", "PCT3", ...).
+	Name() string
+	// Deterministic tools (model checkers) run a single trial.
+	Deterministic() bool
+	// Run performs one trial on the program.
+	Run(p bench.Program, budget, maxSteps int, seed int64) Outcome
+}
+
+// subSeed derives a per-execution seed from a trial seed; splitmix64-style
+// mixing keeps streams independent across executions.
+func subSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// --- RFF ---------------------------------------------------------------------
+
+// RFFTool runs the core greybox fuzzer.
+type RFFTool struct {
+	// NoFeedback ablates the greybox feedback (the "RFF w/o feedback"
+	// configuration of RQ3).
+	NoFeedback bool
+}
+
+// Name implements Tool.
+func (t RFFTool) Name() string {
+	if t.NoFeedback {
+		return "RFF-nofb"
+	}
+	return "RFF"
+}
+
+// Deterministic implements Tool.
+func (t RFFTool) Deterministic() bool { return false }
+
+// Run implements Tool.
+func (t RFFTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+		Budget:          budget,
+		MaxSteps:        maxSteps,
+		Seed:            seed,
+		DisableFeedback: t.NoFeedback,
+		StopAtFirstBug:  true,
+	}).Run()
+	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
+}
+
+// --- scheduler-based tools ------------------------------------------------------
+
+// SchedulerTool evaluates a per-execution scheduler (POS, PCT, Random,
+// Q-Learning): the program is run repeatedly under fresh seeds until a bug
+// or the budget. The factory is invoked once per trial so cross-execution
+// state (PCT length estimates, Q-tables) accumulates within a trial.
+type SchedulerTool struct {
+	ToolName string
+	Factory  func() exec.Scheduler
+}
+
+// Name implements Tool.
+func (t SchedulerTool) Name() string { return t.ToolName }
+
+// Deterministic implements Tool.
+func (t SchedulerTool) Deterministic() bool { return false }
+
+// Run implements Tool.
+func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	s := t.Factory()
+	out := Outcome{Budget: budget}
+	for i := 1; i <= budget; i++ {
+		res := exec.Run(p.Name, p.Body, exec.Config{
+			Scheduler: s,
+			Seed:      subSeed(seed, i),
+			MaxSteps:  maxSteps,
+		})
+		out.Executions = i
+		if res.Buggy() {
+			out.FirstBug = i
+			break
+		}
+	}
+	return out
+}
+
+// NewPOSTool returns the Partial Order Sampling baseline.
+func NewPOSTool() Tool {
+	return SchedulerTool{ToolName: "POS", Factory: func() exec.Scheduler { return sched.NewPOS() }}
+}
+
+// NewPCTTool returns the PCT baseline at the given depth (the paper uses 3).
+func NewPCTTool(depth int) Tool {
+	return SchedulerTool{
+		ToolName: fmt.Sprintf("PCT%d", depth),
+		Factory:  func() exec.Scheduler { return sched.NewPCT(depth) },
+	}
+}
+
+// NewRandomTool returns the naive uniform random walk.
+func NewRandomTool() Tool {
+	return SchedulerTool{ToolName: "Random", Factory: func() exec.Scheduler { return sched.NewRandom() }}
+}
+
+// NewQLearnTool returns the Q-Learning-RF baseline of RQ4.
+func NewQLearnTool() Tool {
+	return SchedulerTool{
+		ToolName: "QLearning-RF",
+		Factory:  func() exec.Scheduler { return qlearn.New(qlearn.Config{}) },
+	}
+}
+
+// --- systematic tools ------------------------------------------------------------
+
+// GenMCTool is the exhaustive-enumeration stand-in for the GenMC stateless
+// model checker.
+type GenMCTool struct{}
+
+// Name implements Tool.
+func (GenMCTool) Name() string { return "GenMC*" }
+
+// Deterministic implements Tool.
+func (GenMCTool) Deterministic() bool { return true }
+
+// Run implements Tool.
+func (GenMCTool) Run(p bench.Program, budget, maxSteps int, _ int64) Outcome {
+	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{
+		MaxExecutions:  budget,
+		MaxSteps:       maxSteps,
+		StopAtFirstBug: true,
+	})
+	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
+}
+
+// PeriodTool is the preemption-bounded systematic stand-in for PERIOD.
+type PeriodTool struct{}
+
+// Name implements Tool.
+func (PeriodTool) Name() string { return "PERIOD*" }
+
+// Deterministic implements Tool.
+func (PeriodTool) Deterministic() bool { return true }
+
+// Run implements Tool.
+func (PeriodTool) Run(p bench.Program, budget, maxSteps int, _ int64) Outcome {
+	rep := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{
+		MaxExecutions:  budget,
+		MaxSteps:       maxSteps,
+		StopAtFirstBug: true,
+	})
+	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
+}
+
+// DefaultTools returns the evaluation's tool lineup in table order.
+func DefaultTools() []Tool {
+	return []Tool{
+		NewPCTTool(3),
+		PeriodTool{},
+		RFFTool{},
+		NewPOSTool(),
+		NewQLearnTool(),
+		GenMCTool{},
+	}
+}
+
+// --- matrix runner ----------------------------------------------------------------
+
+// MatrixOptions configures a full evaluation run.
+type MatrixOptions struct {
+	// Trials per (tool, program); deterministic tools always run once.
+	Trials int
+	// Budget is the schedule budget per trial.
+	Budget int
+	// MaxSteps bounds each execution (0 = engine default).
+	MaxSteps int
+	// BaseSeed makes the whole matrix reproducible.
+	BaseSeed int64
+	// Parallelism caps concurrent trials (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, if non-nil, is called after each completed trial.
+	Progress func(done, total int)
+}
+
+// MatrixResult holds every trial outcome, indexed by tool then program.
+type MatrixResult struct {
+	Tools    []string
+	Programs []string
+	Budget   int
+	// Outcomes[tool][program] is the per-trial outcome list.
+	Outcomes map[string]map[string][]Outcome
+}
+
+// RunMatrix executes the evaluation matrix, parallelizing across trials.
+func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *MatrixResult {
+	if opts.Trials <= 0 {
+		opts.Trials = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 2000
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	res := &MatrixResult{
+		Budget:   opts.Budget,
+		Outcomes: make(map[string]map[string][]Outcome),
+	}
+	type job struct {
+		tool    Tool
+		program bench.Program
+		trial   int
+	}
+	var jobs []job
+	for _, tl := range tools {
+		res.Tools = append(res.Tools, tl.Name())
+		res.Outcomes[tl.Name()] = make(map[string][]Outcome)
+		trials := opts.Trials
+		if tl.Deterministic() {
+			// Deterministic tools run once but receive the same total
+			// compute as a randomized tool's trial set (the paper gives
+			// every tool the same wall-clock budget).
+			trials = 1
+		}
+		for _, p := range programs {
+			res.Outcomes[tl.Name()][p.Name] = make([]Outcome, trials)
+			for tr := 0; tr < trials; tr++ {
+				jobs = append(jobs, job{tl, p, tr})
+			}
+		}
+	}
+	for _, p := range programs {
+		res.Programs = append(res.Programs, p.Name)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, opts.Parallelism)
+		mu   sync.Mutex
+		done int
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			seed := subSeed(opts.BaseSeed, j.trial*1000003) ^ int64(len(j.program.Name))<<32 ^ subSeed(int64(hashString(j.program.Name)), j.trial)
+			budget := opts.Budget
+			if j.tool.Deterministic() {
+				budget *= opts.Trials
+			}
+			out := j.tool.Run(j.program, budget, opts.MaxSteps, seed)
+			mu.Lock()
+			res.Outcomes[j.tool.Name()][j.program.Name][j.trial] = out
+			done++
+			if opts.Progress != nil {
+				opts.Progress(done, len(jobs))
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// hashString is a small FNV-1a for seed derivation.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Samples returns the survival samples of a (tool, program) cell.
+func (m *MatrixResult) Samples(tool, program string) []stats.Sample {
+	outs := m.Outcomes[tool][program]
+	ss := make([]stats.Sample, len(outs))
+	for i, o := range outs {
+		ss[i] = o.Sample()
+	}
+	return ss
+}
+
+// MeanStd returns the mean and standard deviation of schedules-to-bug over
+// the trials that found the bug, plus how many trials missed it.
+func (m *MatrixResult) MeanStd(tool, program string) (mean, std float64, missed int) {
+	var xs []float64
+	for _, o := range m.Outcomes[tool][program] {
+		if o.Found() {
+			xs = append(xs, float64(o.FirstBug))
+		} else {
+			missed++
+		}
+	}
+	return stats.Mean(xs), stats.Std(xs), missed
+}
+
+// BugsFoundPerTrial returns, for each trial index, how many programs the
+// tool found a bug in — the distribution behind the paper's "finds bugs in
+// μ = 46.1 programs" comparison.
+func (m *MatrixResult) BugsFoundPerTrial(tool string) []float64 {
+	progs := m.Outcomes[tool]
+	trials := 0
+	for _, outs := range progs {
+		if len(outs) > trials {
+			trials = len(outs)
+		}
+	}
+	counts := make([]float64, trials)
+	for _, outs := range progs {
+		for tr, o := range outs {
+			if o.Found() {
+				counts[tr]++
+			}
+		}
+	}
+	return counts
+}
+
+// CurvePoint is one step of a cumulative bugs-vs-schedules curve.
+type CurvePoint struct {
+	Schedules int
+	Bugs      int
+}
+
+// CumulativeCurve builds the Figure 4 series for a tool: for every trial
+// and program where a bug was found, a point at (schedules, cumulative
+// bugs found at or below that schedule count), across all trials.
+func (m *MatrixResult) CumulativeCurve(tool string) []CurvePoint {
+	var times []int
+	for _, outs := range m.Outcomes[tool] {
+		for _, o := range outs {
+			if o.Found() {
+				times = append(times, o.FirstBug)
+			}
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	// Sort ascending and emit cumulative counts.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	pts := make([]CurvePoint, 0, len(times))
+	for i, t := range times {
+		pts = append(pts, CurvePoint{Schedules: t, Bugs: i + 1})
+	}
+	return pts
+}
+
+// SignificantWins counts the programs where tool a finds bugs in
+// significantly fewer schedules than tool b by the log-rank test at the
+// paper's alpha of 0.05 — the RQ1/RQ2 per-program comparisons.
+func (m *MatrixResult) SignificantWins(a, b string, alpha float64) (aWins, bWins int) {
+	for _, p := range m.Programs {
+		sa := m.Samples(a, p)
+		sb := m.Samples(b, p)
+		if stats.SignificantlyFewer(sa, sb, alpha) {
+			aWins++
+		}
+		if stats.SignificantlyFewer(sb, sa, alpha) {
+			bWins++
+		}
+	}
+	return
+}

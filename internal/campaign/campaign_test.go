@@ -1,0 +1,137 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/campaign"
+)
+
+func miniPrograms(t *testing.T, names ...string) []bench.Program {
+	t.Helper()
+	var out []bench.Program
+	for _, n := range names {
+		out = append(out, bench.MustGet(n))
+	}
+	return out
+}
+
+func TestMatrixShapeAndDeterminism(t *testing.T) {
+	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool(), campaign.GenMCTool{}}
+	progs := miniPrograms(t, "CS/account", "CS/lazy01")
+	opts := campaign.MatrixOptions{Trials: 3, Budget: 200, BaseSeed: 7, Parallelism: 2}
+	m1 := campaign.RunMatrix(tools, progs, opts)
+	m2 := campaign.RunMatrix(tools, progs, opts)
+
+	if len(m1.Tools) != 3 || len(m1.Programs) != 2 {
+		t.Fatalf("bad matrix shape: %v %v", m1.Tools, m1.Programs)
+	}
+	// Deterministic tool runs one trial; randomized tools run three.
+	if got := len(m1.Outcomes["GenMC*"]["CS/account"]); got != 1 {
+		t.Fatalf("deterministic tool should run 1 trial, got %d", got)
+	}
+	if got := len(m1.Outcomes["RFF"]["CS/account"]); got != 3 {
+		t.Fatalf("RFF should run 3 trials, got %d", got)
+	}
+	// Same seed, same everything.
+	for _, tool := range m1.Tools {
+		for _, p := range m1.Programs {
+			a, b := m1.Outcomes[tool][p], m2.Outcomes[tool][p]
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("matrix not reproducible at %s/%s[%d]: %+v vs %+v", tool, p, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEasyBugsFoundByAllTools(t *testing.T) {
+	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool(), campaign.NewPCTTool(3),
+		campaign.PeriodTool{}, campaign.NewQLearnTool()}
+	progs := miniPrograms(t, "CS/account")
+	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 2, Budget: 500, BaseSeed: 1})
+	for _, tool := range m.Tools {
+		for _, o := range m.Outcomes[tool]["CS/account"] {
+			if !o.Found() {
+				t.Errorf("%s missed the trivial account bug (%d schedules)", tool, o.Executions)
+			}
+		}
+	}
+}
+
+func TestCumulativeCurveMonotone(t *testing.T) {
+	tools := []campaign.Tool{campaign.RFFTool{}}
+	progs := miniPrograms(t, "CS/account", "CS/lazy01", "CS/reorder_3")
+	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 3, Budget: 300, BaseSeed: 2})
+	curve := m.CumulativeCurve("RFF")
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Schedules < curve[i-1].Schedules || curve[i].Bugs != curve[i-1].Bugs+1 {
+			t.Fatalf("curve not cumulative at %d: %+v", i, curve)
+		}
+	}
+	if curve[len(curve)-1].Bugs != 9 { // 3 programs x 3 trials, all found
+		t.Fatalf("expected 9 cumulative bugs, got %d", curve[len(curve)-1].Bugs)
+	}
+}
+
+func TestBugsFoundPerTrialAndWins(t *testing.T) {
+	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()}
+	progs := miniPrograms(t, "CS/reorder_20", "CS/account")
+	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 3, Budget: 400, BaseSeed: 3})
+	rff := m.BugsFoundPerTrial("RFF")
+	if len(rff) != 3 {
+		t.Fatalf("want 3 trial counts, got %v", rff)
+	}
+	for _, c := range rff {
+		if c != 2 {
+			t.Fatalf("RFF should find both bugs every trial, got %v", rff)
+		}
+	}
+	// POS cannot find reorder_20 in 400 schedules; RFF wins significantly.
+	aw, bw := m.SignificantWins("RFF", "POS", 0.05)
+	if aw < 1 {
+		t.Errorf("expected RFF to win significantly on reorder_20 (wins=%d)", aw)
+	}
+	if bw != 0 {
+		t.Errorf("POS should not beat RFF significantly anywhere (wins=%d)", bw)
+	}
+}
+
+func TestFig5Distributions(t *testing.T) {
+	p := bench.MustGet("SafeStack")
+	const n = 400
+	pos := campaign.RFDistributionPOS(p, n, 11, 0)
+	rff := campaign.RFDistributionRFF(p, n, 11, 0, true)
+	if pos.Schedules != n || rff.Schedules != n {
+		t.Fatalf("wrong schedule counts: %d %d", pos.Schedules, rff.Schedules)
+	}
+	if pos.Combinations() < 2 || rff.Combinations() < 2 {
+		t.Fatalf("SafeStack must show multiple rf combinations: pos=%d rff=%d",
+			pos.Combinations(), rff.Combinations())
+	}
+	if s := pos.MaxShare(); s <= 0 || s > 1 {
+		t.Fatalf("bad max share %v", s)
+	}
+	total := 0
+	for _, f := range rff.Freq {
+		total += f
+	}
+	if total != n {
+		t.Fatalf("frequencies must sum to schedules: %d != %d", total, n)
+	}
+}
+
+func TestOutcomeSampleCensoring(t *testing.T) {
+	found := campaign.Outcome{FirstBug: 17, Executions: 17, Budget: 100}
+	miss := campaign.Outcome{Executions: 100, Budget: 100}
+	if s := found.Sample(); !s.Observed || s.Time != 17 {
+		t.Fatalf("bad sample %+v", s)
+	}
+	if s := miss.Sample(); s.Observed || s.Time != 100 {
+		t.Fatalf("bad censored sample %+v", s)
+	}
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+func TestFuzzerProactiveAblation(t *testing.T) {
+	// With the proactive scheduler disabled, reorder_20 becomes out of
+	// reach (it is exactly the steering that cracks it); with it on, the
+	// bug falls in a handful of schedules.
+	on := core.NewFuzzer("reorder_20", reorder(20), core.Options{
+		Budget: 400, Seed: 11, StopAtFirstBug: true,
+	}).Run()
+	if !on.FoundBug() || on.FirstBug > 100 {
+		t.Fatalf("steering on: want quick bug, got %+v", on.FirstBug)
+	}
+	off := core.NewFuzzer("reorder_20", reorder(20), core.Options{
+		Budget: 400, Seed: 11, StopAtFirstBug: true, DisableProactive: true,
+	}).Run()
+	if off.FoundBug() {
+		t.Fatalf("steering off: POS-driven mutants should miss reorder_20 in 400 schedules, found at %d", off.FirstBug)
+	}
+}
+
+func TestMutationOperatorDistribution(t *testing.T) {
+	// Over many mutations of a non-trivial schedule all four operators
+	// must manifest: schedules must grow, shrink, flip polarity and swap.
+	pool := core.NewEventPool()
+	res := exec.Run("probe", reorder(3), exec.Config{Scheduler: sched.NewPOS(), Seed: 1})
+	pool.AddTrace(res.Trace)
+	rng := rand.New(rand.NewSource(3))
+
+	base := core.EmptySchedule()
+	for i := 0; i < 6; i++ { // grow a base schedule
+		base = core.Mutate(base, pool, rng, core.MutatorConfig{})
+	}
+	if base.Len() == 0 {
+		t.Fatal("failed to grow base schedule")
+	}
+	var sawGrow, sawShrink, sawNegate, sawSame bool
+	for i := 0; i < 500; i++ {
+		m := core.Mutate(base, pool, rng, core.MutatorConfig{})
+		switch {
+		case m.Len() > base.Len():
+			sawGrow = true
+		case m.Len() < base.Len():
+			sawShrink = true
+		default:
+			sawSame = true
+			neg, pos := 0, 0
+			for _, c := range m.Constraints() {
+				if c.Negated {
+					neg++
+				} else {
+					pos++
+				}
+			}
+			baseNeg := 0
+			for _, c := range base.Constraints() {
+				if c.Negated {
+					baseNeg++
+				}
+			}
+			if neg != baseNeg && pos+neg == base.Len() {
+				sawNegate = true
+			}
+		}
+	}
+	if !sawGrow || !sawShrink || !sawSame || !sawNegate {
+		t.Fatalf("operator coverage: grow=%v shrink=%v same=%v negate=%v",
+			sawGrow, sawShrink, sawSame, sawNegate)
+	}
+}
+
+func TestProactiveSteersLockOrder(t *testing.T) {
+	// A reads-from constraint over the mutex word must control which
+	// thread acquires the lock first (the mechanism behind twostage_100).
+	prog := func(t *exec.Thread) {
+		m := t.NewMutex("m")
+		order := t.NewVar("order", 0)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Lock(m)
+			if w.Read(order) == 0 {
+				w.Write(order, 1)
+			}
+			w.Unlock(m)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.Lock(m)
+			if w.Read(order) == 0 {
+				w.Write(order, 2)
+			}
+			w.Unlock(m)
+		})
+		t.JoinAll(a, b)
+	}
+	// Probe for thread b's lock abstract event and the mutex init.
+	probe := exec.Run("probe", prog, exec.Config{Scheduler: sched.NewPOS(), Seed: 1})
+	var mInit, bLock exec.AbstractEvent
+	for _, e := range probe.Trace.Events {
+		if e.Op == exec.OpVarInit && e.VarStr == "m" {
+			mInit = e.Abstract()
+		}
+		if e.Op == exec.OpLock && e.Thread == 3 {
+			bLock = e.Abstract()
+		}
+	}
+	if mInit.IsZero() || bLock.IsZero() {
+		t.Skip("probe did not surface both lock events")
+	}
+	// Constraint: b's acquisition reads-from the mutex initializer, i.e.
+	// b locks first.
+	target := core.NewSchedule(core.Constraint{Write: mInit, Read: bLock})
+	p := core.NewProactive()
+	p.SetSchedule(target)
+	wins := 0
+	for seed := int64(0); seed < 100; seed++ {
+		res := exec.Run("p", prog, exec.Config{Scheduler: p, Seed: seed})
+		final := int64(0)
+		for _, e := range res.Trace.Events {
+			if e.Op == exec.OpWrite && e.VarStr == "order" {
+				final = e.Val
+			}
+		}
+		if final == 2 {
+			wins++
+		}
+	}
+	if wins < 85 {
+		t.Fatalf("lock-order steering too weak: b won only %d/100", wins)
+	}
+}
+
+func TestProactiveHandlesRMWConstraints(t *testing.T) {
+	// Constraints whose write side is the store half of a CAS must be
+	// matched through Pending.AbstractWrite.
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		a := t.Go("a", func(w *exec.Thread) { w.CAS(x, 0, 1) })
+		b := t.Go("b", func(w *exec.Thread) { w.Read(x) })
+		t.JoinAll(a, b)
+	}
+	probe := exec.Run("probe", prog, exec.Config{Scheduler: sched.NewRoundRobin()})
+	var casWrite, read exec.AbstractEvent
+	for _, e := range probe.Trace.Events {
+		if e.Op == exec.OpWrite && e.VarStr == "x" {
+			casWrite = e.Abstract()
+		}
+		if e.Op == exec.OpRead && e.Thread == 3 {
+			read = e.Abstract()
+		}
+	}
+	if casWrite.IsZero() || read.IsZero() {
+		t.Fatalf("probe incomplete: %v %v", casWrite, read)
+	}
+	target := core.NewSchedule(core.Constraint{Write: casWrite, Read: read})
+	p := core.NewProactive()
+	p.SetSchedule(target)
+	for seed := int64(0); seed < 50; seed++ {
+		res := exec.Run("p", prog, exec.Config{Scheduler: p, Seed: seed})
+		if !target.InstantiatedBy(res.Trace) {
+			t.Fatalf("seed %d: CAS-write constraint unsatisfied:\n%s", seed, res.Trace)
+		}
+	}
+}

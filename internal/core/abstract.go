@@ -1,0 +1,304 @@
+// Package core implements the paper's primary contribution: the RFF
+// ("Reads-From Fuzzer") greybox schedule fuzzer. It contains
+//
+//   - abstract schedules — sets of positive and negative reads-from
+//     constraints over abstract events (Section 3, "Abstract events and
+//     schedules"), with the four mutation operators insert/swap/delete/
+//     negate;
+//   - the proactive reads-from scheduler — per-constraint state machines
+//     (Figure 2a/2b) that bias a POS scheduler toward satisfying an
+//     abstract schedule;
+//   - reads-from feedback — the isInteresting predicate (new reads-from
+//     pair, or crash) and the frequency bookkeeping behind it;
+//   - the cut-off exponential power schedule (Section 4.2);
+//   - the fuzzing loop itself (Algorithm 1).
+package core
+
+import (
+	"math/rand"
+	"strings"
+
+	"rff/internal/exec"
+)
+
+// Constraint is one reads-from constraint of an abstract schedule: the
+// paper's C+ = w --rf--> r (Negated=false) or C- = w -/rf/-> r
+// (Negated=true). Write and Read are abstract events over the same shared
+// variable; Write may be the variable's synthetic initial write.
+type Constraint struct {
+	Write   exec.AbstractEvent
+	Read    exec.AbstractEvent
+	Negated bool
+}
+
+// Negate returns the constraint with flipped polarity (the paper's ¬C).
+func (c Constraint) Negate() Constraint {
+	c.Negated = !c.Negated
+	return c
+}
+
+// String renders the constraint as "w(x)@l1 -rf-> r(x)@l2" or with -/rf/->
+// for negated constraints.
+func (c Constraint) String() string {
+	arrow := " -rf-> "
+	if c.Negated {
+		arrow = " -/rf/-> "
+	}
+	return c.Write.String() + arrow + c.Read.String()
+}
+
+// Schedule is an abstract schedule: a set of reads-from constraints. A
+// concrete execution instantiates the schedule when every positive
+// constraint is witnessed by some reads-from pair and no negative
+// constraint is. The zero value is the empty schedule ε, which every
+// execution instantiates.
+type Schedule struct {
+	constraints []Constraint
+}
+
+// EmptySchedule returns ε, the initial corpus member of Algorithm 1.
+func EmptySchedule() Schedule { return Schedule{} }
+
+// NewSchedule builds a schedule from the given constraints (duplicates
+// collapse).
+func NewSchedule(cs ...Constraint) Schedule {
+	var s Schedule
+	for _, c := range cs {
+		s.insert(c)
+	}
+	return s
+}
+
+// Constraints returns a copy of the constraint set in insertion order.
+func (s Schedule) Constraints() []Constraint {
+	out := make([]Constraint, len(s.constraints))
+	copy(out, s.constraints)
+	return out
+}
+
+// Len returns the number of constraints.
+func (s Schedule) Len() int { return len(s.constraints) }
+
+// Contains reports whether the schedule includes the exact constraint.
+func (s Schedule) Contains(c Constraint) bool {
+	for _, x := range s.constraints {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns an independent copy.
+func (s Schedule) clone() Schedule {
+	return Schedule{constraints: append([]Constraint(nil), s.constraints...)}
+}
+
+// insert adds c if not already present (set semantics).
+func (s *Schedule) insert(c Constraint) {
+	if !s.Contains(c) {
+		s.constraints = append(s.constraints, c)
+	}
+}
+
+// removeAt deletes the i-th constraint.
+func (s *Schedule) removeAt(i int) {
+	s.constraints = append(s.constraints[:i], s.constraints[i+1:]...)
+}
+
+// String renders the schedule as {C1, C2, ...}.
+func (s Schedule) String() string {
+	if len(s.constraints) == 0 {
+		return "{ε}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, c := range s.constraints {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Key returns a canonical representation usable as a map key (constraints
+// sorted), so reads-from–identical schedules compare equal regardless of
+// construction order.
+func (s Schedule) Key() string {
+	cs := s.Constraints()
+	// Insertion sort by rendered form: schedules are small (≤ tens).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].String() < cs[j-1].String(); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	var b strings.Builder
+	for _, c := range cs {
+		b.WriteString(c.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// InstantiatedBy reports whether the trace satisfies the schedule: every
+// positive constraint appears among the trace's reads-from pairs, and no
+// negative constraint does (Section 3's instantiation conditions).
+func (s Schedule) InstantiatedBy(t *exec.Trace) bool {
+	pairs := make(map[exec.RFPair]struct{})
+	for _, p := range t.RFPairs() {
+		pairs[p] = struct{}{}
+	}
+	for _, c := range s.constraints {
+		_, present := pairs[exec.RFPair{Write: c.Write, Read: c.Read}]
+		if c.Negated && present {
+			return false
+		}
+		if !c.Negated && !present {
+			return false
+		}
+	}
+	return true
+}
+
+// MutationOp enumerates the paper's four mutation operators.
+type MutationOp uint8
+
+const (
+	// MutInsert adds a fresh constraint drawn from the event pool.
+	MutInsert MutationOp = iota
+	// MutSwap replaces one constraint with a fresh one.
+	MutSwap
+	// MutDelete removes one constraint.
+	MutDelete
+	// MutNegate flips one constraint's polarity.
+	MutNegate
+	numMutationOps
+)
+
+// String names the operator.
+func (m MutationOp) String() string {
+	switch m {
+	case MutInsert:
+		return "insert"
+	case MutSwap:
+		return "swap"
+	case MutDelete:
+		return "delete"
+	case MutNegate:
+		return "negate"
+	}
+	return "mut?"
+}
+
+// MutatorConfig tunes Mutate.
+type MutatorConfig struct {
+	// MaxConstraints caps schedule growth; inserts degrade to swaps at
+	// the cap. Zero means DefaultMaxConstraints.
+	MaxConstraints int
+	// NegatedInsertProb is the probability a freshly drawn constraint is
+	// negated. Zero means DefaultNegatedInsertProb.
+	NegatedInsertProb float64
+	// Disabled removes mutation operators from the draw (for operator
+	// ablation studies); disabling everything is a configuration error
+	// handled by falling back to insert.
+	Disabled []MutationOp
+}
+
+func (c MutatorConfig) disabled(op MutationOp) bool {
+	for _, d := range c.Disabled {
+		if d == op {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultMaxConstraints bounds abstract-schedule size.
+const DefaultMaxConstraints = 16
+
+// DefaultNegatedInsertProb is the chance a drawn constraint is negated.
+const DefaultNegatedInsertProb = 0.25
+
+func (c MutatorConfig) maxConstraints() int {
+	if c.MaxConstraints <= 0 {
+		return DefaultMaxConstraints
+	}
+	return c.MaxConstraints
+}
+
+func (c MutatorConfig) negProb() float64 {
+	if c.NegatedInsertProb <= 0 {
+		return DefaultNegatedInsertProb
+	}
+	return c.NegatedInsertProb
+}
+
+// Mutate implements mutateSchedule(σ, S): pick one of the four operators
+// uniformly, drawing any needed constraints from the pool of potentially
+// conflicting events observed so far. If the chosen operator is
+// inapplicable (e.g. delete on ε, insert with an empty pool) it falls back
+// sensibly so that a mutation always makes progress when possible.
+func Mutate(s Schedule, pool *EventPool, rng *rand.Rand, cfg MutatorConfig) Schedule {
+	out := s.clone()
+	allowed := make([]MutationOp, 0, numMutationOps)
+	for o := MutationOp(0); o < numMutationOps; o++ {
+		if !cfg.disabled(o) {
+			allowed = append(allowed, o)
+		}
+	}
+	if len(allowed) == 0 {
+		allowed = append(allowed, MutInsert) // disabling everything is a config error
+	}
+	op := allowed[rng.Intn(len(allowed))]
+
+	draw := func() (Constraint, bool) {
+		c, ok := pool.RandomConstraint(rng)
+		if !ok {
+			return Constraint{}, false
+		}
+		if rng.Float64() < cfg.negProb() {
+			c.Negated = true
+		}
+		return c, ok
+	}
+
+	// Degrade inapplicable choices: shrink ops need a non-empty schedule,
+	// insert needs pool material and headroom.
+	if out.Len() == 0 && (op == MutSwap || op == MutDelete || op == MutNegate) {
+		op = MutInsert
+	}
+	if op == MutInsert && out.Len() >= cfg.maxConstraints() {
+		// No headroom: degrade to the first allowed shrinking/replacing
+		// operator; with all of them disabled the mutation is a no-op.
+		switch {
+		case !cfg.disabled(MutSwap):
+			op = MutSwap
+		case !cfg.disabled(MutDelete):
+			op = MutDelete
+		case !cfg.disabled(MutNegate):
+			op = MutNegate
+		default:
+			return out
+		}
+	}
+
+	switch op {
+	case MutInsert:
+		if c, ok := draw(); ok {
+			out.insert(c)
+		}
+	case MutSwap:
+		if c, ok := draw(); ok && out.Len() > 0 {
+			out.removeAt(rng.Intn(out.Len()))
+			out.insert(c)
+		}
+	case MutDelete:
+		out.removeAt(rng.Intn(out.Len()))
+	case MutNegate:
+		i := rng.Intn(out.Len())
+		out.constraints[i] = out.constraints[i].Negate()
+	}
+	return out
+}

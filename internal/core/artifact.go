@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rff/internal/exec"
+)
+
+// AbstractEventJSON is the serialized form of an abstract event.
+type AbstractEventJSON struct {
+	Op  string `json:"op"`
+	Var string `json:"var"`
+	Loc string `json:"loc"`
+}
+
+// ConstraintJSON is the serialized form of one reads-from constraint.
+type ConstraintJSON struct {
+	Write   AbstractEventJSON `json:"write"`
+	Read    AbstractEventJSON `json:"read"`
+	Negated bool              `json:"negated,omitempty"`
+}
+
+// Artifact is the on-disk form of one failing schedule: everything needed
+// to reproduce and triage the bug — the program name, the abstract
+// schedule that was being driven, the failure, and the exact decision
+// sequence for deterministic replay. This is the fuzzer's analogue of a
+// crash file in AFL's output directory (Algorithm 1's S_fail).
+type Artifact struct {
+	Program     string           `json:"program"`
+	Seed        int64            `json:"seed"`
+	Execution   int              `json:"execution"`
+	FailureKind string           `json:"failure_kind"`
+	FailureMsg  string           `json:"failure_msg"`
+	FailureLoc  string           `json:"failure_loc,omitempty"`
+	Thread      int32            `json:"thread"`
+	Schedule    []ConstraintJSON `json:"schedule"`
+	Decisions   []int32          `json:"decisions"`
+}
+
+// opFromString inverts Op.String for the ops that appear in abstract
+// events.
+func opFromString(s string) (exec.Op, error) {
+	for op := exec.Op(1); op <= exec.OpBarrier; op++ {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return exec.OpNone, fmt.Errorf("unknown op %q", s)
+}
+
+// NewArtifact converts a FailureRecord into its serializable form.
+func NewArtifact(program string, fr FailureRecord) *Artifact {
+	a := &Artifact{
+		Program:     program,
+		Seed:        fr.Seed,
+		Execution:   fr.Execution,
+		FailureKind: fr.Failure.Kind.String(),
+		FailureMsg:  fr.Failure.Msg,
+		FailureLoc:  fr.Failure.Loc,
+		Thread:      int32(fr.Failure.Thread),
+	}
+	for _, c := range fr.Schedule.Constraints() {
+		a.Schedule = append(a.Schedule, ConstraintJSON{
+			Write:   AbstractEventJSON{Op: c.Write.Op.String(), Var: c.Write.Var, Loc: c.Write.Loc},
+			Read:    AbstractEventJSON{Op: c.Read.Op.String(), Var: c.Read.Var, Loc: c.Read.Loc},
+			Negated: c.Negated,
+		})
+	}
+	for _, d := range fr.Decisions {
+		a.Decisions = append(a.Decisions, int32(d))
+	}
+	return a
+}
+
+// AbstractSchedule reconstructs the constraint set.
+func (a *Artifact) AbstractSchedule() (Schedule, error) {
+	var cs []Constraint
+	for _, c := range a.Schedule {
+		wop, err := opFromString(c.Write.Op)
+		if err != nil {
+			return Schedule{}, err
+		}
+		rop, err := opFromString(c.Read.Op)
+		if err != nil {
+			return Schedule{}, err
+		}
+		cs = append(cs, Constraint{
+			Write:   exec.AbstractEvent{Op: wop, Var: c.Write.Var, Loc: c.Write.Loc},
+			Read:    exec.AbstractEvent{Op: rop, Var: c.Read.Var, Loc: c.Read.Loc},
+			Negated: c.Negated,
+		})
+	}
+	return NewSchedule(cs...), nil
+}
+
+// ThreadOrder reconstructs the replayable decision sequence.
+func (a *Artifact) ThreadOrder() []exec.ThreadID {
+	out := make([]exec.ThreadID, len(a.Decisions))
+	for i, d := range a.Decisions {
+		out[i] = exec.ThreadID(d)
+	}
+	return out
+}
+
+// Save writes the artifact as pretty-printed JSON.
+func (a *Artifact) Save(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact back.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// SaveFailures writes every failure of a report into dir as
+// crash-000.json, crash-001.json, ... and returns the paths.
+func SaveFailures(dir string, rep *Report) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, fr := range rep.Failures {
+		p := filepath.Join(dir, fmt.Sprintf("crash-%03d.json", i))
+		if err := NewArtifact(rep.Program, fr).Save(p); err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	rep := core.NewFuzzer("reorder_5", reorder(5), core.Options{
+		Budget: 500, Seed: 21, StopAtFirstBug: true,
+	}).Run()
+	if !rep.FoundBug() {
+		t.Fatal("no failure to serialize")
+	}
+	dir := t.TempDir()
+	paths, err := core.SaveFailures(dir, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(rep.Failures) {
+		t.Fatalf("want %d artifacts, got %d", len(rep.Failures), len(paths))
+	}
+
+	a, err := core.LoadArtifact(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program != "reorder_5" || a.Execution != rep.Failures[0].Execution {
+		t.Fatalf("metadata mismatch: %+v", a)
+	}
+	sched2, err := a.AbstractSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched2.Key() != rep.Failures[0].Schedule.Key() {
+		t.Fatalf("schedule round-trip mismatch:\n%v\n%v", sched2, rep.Failures[0].Schedule)
+	}
+
+	// The deserialized decisions replay to the same failure.
+	rr := exec.Run("replay", reorder(5), exec.Config{Scheduler: sched.NewReplay(a.ThreadOrder())})
+	if rr.Failure == nil || rr.Failure.Kind.String() != a.FailureKind {
+		t.Fatalf("replay mismatch: %v vs %s", rr.Failure, a.FailureKind)
+	}
+}
+
+func TestArtifactNegatedConstraints(t *testing.T) {
+	fr := core.FailureRecord{
+		Schedule: core.NewSchedule(core.Constraint{
+			Write:   exec.AbstractEvent{Op: exec.OpVarInit, Var: "x", Loc: "a.go:1"},
+			Read:    exec.AbstractEvent{Op: exec.OpLock, Var: "x", Loc: "a.go:2"},
+			Negated: true,
+		}),
+		Seed:      7,
+		Execution: 3,
+		Failure:   &exec.Failure{Kind: exec.FailDeadlock, Msg: "stuck"},
+		Decisions: []exec.ThreadID{1, 2, 1},
+	}
+	a := core.NewArtifact("p", fr)
+	path := filepath.Join(t.TempDir(), "crash.json")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.AbstractSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.Constraints()
+	if len(cs) != 1 || !cs[0].Negated || cs[0].Read.Op != exec.OpLock || cs[0].Write.Op != exec.OpVarInit {
+		t.Fatalf("negated lock constraint mangled: %v", cs)
+	}
+	if got := b.ThreadOrder(); len(got) != 3 || got[1] != 2 {
+		t.Fatalf("decisions mangled: %v", got)
+	}
+}
+
+func TestLoadArtifactErrors(t *testing.T) {
+	if _, err := core.LoadArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import "rff/internal/exec"
+
+// Feedback is the fuzzer's greybox feedback state: which abstract
+// reads-from pairs have ever been observed (the novelty signal behind
+// isInteresting) and how often each whole reads-from combination — the
+// signature of an execution's ≡rf equivalence class — has been exercised
+// (the f(α) frequency driving the power schedule and the Figure 5
+// distribution).
+type Feedback struct {
+	pairCount map[exec.RFPair]int
+	sigCount  map[uint64]int
+	sigOrder  []uint64 // first-observation order, for deterministic reports
+}
+
+// NewFeedback returns empty feedback state.
+func NewFeedback() *Feedback {
+	return &Feedback{
+		pairCount: make(map[exec.RFPair]int),
+		sigCount:  make(map[uint64]int),
+	}
+}
+
+// Observation summarizes what one execution contributed.
+type Observation struct {
+	// NewPairs is the number of reads-from pairs never seen before this
+	// execution — the paper's novelty measure.
+	NewPairs int
+	// Sig is the execution's reads-from combination signature.
+	Sig uint64
+	// NewSig reports whether the combination itself was first seen now.
+	NewSig bool
+}
+
+// Observe folds one trace into the feedback state and reports its novelty.
+func (f *Feedback) Observe(t *exec.Trace) Observation {
+	var obs Observation
+	for _, p := range t.RFPairs() {
+		if f.pairCount[p] == 0 {
+			obs.NewPairs++
+		}
+		f.pairCount[p]++
+	}
+	obs.Sig = t.RFSignature()
+	if f.sigCount[obs.Sig] == 0 {
+		obs.NewSig = true
+		f.sigOrder = append(f.sigOrder, obs.Sig)
+	}
+	f.sigCount[obs.Sig]++
+	return obs
+}
+
+// Interesting implements isInteresting(σmut, S): true when the execution
+// exhibited a never-before-seen reads-from pair, realized a reads-from
+// combination no corpus schedule has realized before, or crashed. The
+// combination clause is what keeps the corpus growing after individual
+// pairs saturate, giving the power schedule distinct neighborhoods to
+// ramp or skip — the mechanism behind Figure 5's even exploration.
+func (f *Feedback) Interesting(obs Observation, crashed bool) bool {
+	return obs.NewPairs > 0 || obs.NewSig || crashed
+}
+
+// SigFrequency returns how often the given reads-from combination has been
+// observed (the paper's f(α)).
+func (f *Feedback) SigFrequency(sig uint64) int { return f.sigCount[sig] }
+
+// UniquePairs returns the number of distinct reads-from pairs seen.
+func (f *Feedback) UniquePairs() int { return len(f.pairCount) }
+
+// UniqueSigs returns the number of distinct reads-from combinations seen.
+func (f *Feedback) UniqueSigs() int { return len(f.sigCount) }
+
+// SigFrequencies returns the observation counts of every distinct
+// reads-from combination in first-observation order — the series plotted
+// by Figure 5.
+func (f *Feedback) SigFrequencies() []int {
+	out := make([]int, len(f.sigOrder))
+	for i, sig := range f.sigOrder {
+		out[i] = f.sigCount[sig]
+	}
+	return out
+}

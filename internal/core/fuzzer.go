@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+
+	"rff/internal/exec"
+)
+
+// Options configures a fuzzing campaign on one program.
+type Options struct {
+	// Budget is the maximum number of schedules (executions) to try.
+	// Required.
+	Budget int
+	// MaxSteps bounds each execution's event count (0 = engine default).
+	MaxSteps int
+	// Seed makes the whole campaign deterministic.
+	Seed int64
+	// Power tunes the power schedule.
+	Power PowerConfig
+	// Mutator tunes schedule mutation.
+	Mutator MutatorConfig
+	// DisableFeedback ablates the greybox feedback (RQ3): the corpus is
+	// never extended and every stage gets unit energy, leaving only the
+	// abstract-schedule mutation structure over POS.
+	DisableFeedback bool
+	// DisableProactive ablates the proactive constraint scheduler:
+	// mutants are still generated and fed back, but executions run under
+	// plain POS with no steering — isolating the Figure 2 machines'
+	// contribution from the rest of the loop.
+	DisableProactive bool
+	// StopAtFirstBug ends the campaign at the first failing schedule —
+	// the setting used for the schedules-to-first-bug experiments.
+	StopAtFirstBug bool
+	// InitialCorpus is Algorithm 1's S_init; when empty the corpus is
+	// seeded with the empty schedule ε.
+	InitialCorpus []Schedule
+	// TraceObserver, if non-nil, is invoked with every executed trace —
+	// the hook auxiliary analyses (e.g. the happens-before race
+	// detector) use to piggyback on the fuzzing campaign.
+	TraceObserver func(t *exec.Trace)
+}
+
+// FailureRecord captures one crashing schedule (Algorithm 1's S_fail
+// members) with everything needed to replay it.
+type FailureRecord struct {
+	// Schedule is the abstract schedule that was being driven.
+	Schedule Schedule
+	// Seed reproduces the execution together with the schedule.
+	Seed int64
+	// Execution is the 1-based schedule count at which the bug fired.
+	Execution int
+	// Failure describes the bug.
+	Failure *exec.Failure
+	// Decisions replays the exact concrete schedule via sched.NewReplay.
+	Decisions []exec.ThreadID
+}
+
+// Report summarizes one campaign.
+type Report struct {
+	Program    string
+	Executions int
+	// FirstBug is the schedule count of the first failure (0 = none).
+	FirstBug int
+	Failures []FailureRecord
+	// CorpusSize, UniquePairs and UniqueSigs describe the final feedback
+	// state.
+	CorpusSize  int
+	UniquePairs int
+	UniqueSigs  int
+	// SigFrequencies is the per-combination observation count series in
+	// first-observation order (Figure 5's data).
+	SigFrequencies []int
+}
+
+// FoundBug reports whether any schedule crashed.
+func (r *Report) FoundBug() bool { return r.FirstBug > 0 }
+
+// Fuzzer runs Algorithm 1 — the greybox concurrency fuzzing loop — on one
+// program: pick a corpus schedule and its energy, mutate it that many
+// times, execute each mutant under the proactive scheduler, and feed
+// interesting mutants back into the corpus.
+type Fuzzer struct {
+	name string
+	prog exec.Program
+	opts Options
+
+	fb     *Feedback
+	corpus *Corpus
+	pool   *EventPool
+	sched  *Proactive
+	rng    *rand.Rand
+}
+
+// NewFuzzer builds a campaign for the program with the given options.
+func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
+	if opts.Budget <= 0 {
+		panic("core.NewFuzzer: Options.Budget must be positive")
+	}
+	return &Fuzzer{
+		name:   name,
+		prog:   prog,
+		opts:   opts,
+		fb:     NewFeedback(),
+		corpus: NewCorpus(opts.InitialCorpus...),
+		pool:   NewEventPool(),
+		sched:  NewProactive(),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Run executes the campaign to its budget (or first bug, if configured)
+// and returns the report.
+func (f *Fuzzer) Run() *Report {
+	rep := &Report{Program: f.name}
+	for rep.Executions < f.opts.Budget {
+		entry := f.corpus.PickNext()
+		energy := 1
+		if !f.opts.DisableFeedback {
+			energy = f.corpus.Energy(entry, f.fb, f.opts.Power)
+		}
+		for i := 0; i < energy && rep.Executions < f.opts.Budget; i++ {
+			if f.fuzzOne(entry, rep) && f.opts.StopAtFirstBug {
+				f.finish(rep)
+				return rep
+			}
+		}
+	}
+	f.finish(rep)
+	return rep
+}
+
+// fuzzOne performs one iteration of the inner loop: mutate, execute,
+// observe. Reports whether the execution crashed.
+func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
+	mut := Mutate(entry.Schedule, f.pool, f.rng, f.opts.Mutator)
+	seed := f.rng.Int63()
+	if f.opts.DisableProactive {
+		f.sched.SetSchedule(EmptySchedule()) // machines off: pure POS
+	} else {
+		f.sched.SetSchedule(mut)
+	}
+	res := exec.Run(f.name, f.prog, exec.Config{
+		Scheduler: f.sched,
+		Seed:      seed,
+		MaxSteps:  f.opts.MaxSteps,
+	})
+	rep.Executions++
+	if f.opts.TraceObserver != nil {
+		f.opts.TraceObserver(res.Trace)
+	}
+
+	obs := f.fb.Observe(res.Trace)
+	f.pool.AddTrace(res.Trace)
+	if entry.Sig == 0 {
+		// Seed entries (ε) carry no signature until first executed; bind
+		// them to their observed combination so the power schedule can
+		// skip them once that combination is over-explored.
+		entry.Sig = obs.Sig
+	}
+
+	crashed := res.Buggy()
+	if crashed {
+		rep.Failures = append(rep.Failures, FailureRecord{
+			Schedule:  mut,
+			Seed:      seed,
+			Execution: rep.Executions,
+			Failure:   res.Failure,
+			Decisions: res.Trace.ThreadOrder(),
+		})
+		if rep.FirstBug == 0 {
+			rep.FirstBug = rep.Executions
+		}
+	}
+	if !f.opts.DisableFeedback && f.fb.Interesting(obs, crashed) {
+		f.corpus.Add(&Entry{Schedule: mut, Sig: obs.Sig, Perf: obs.NewPairs})
+	}
+	return crashed
+}
+
+// finish copies final feedback statistics into the report.
+func (f *Fuzzer) finish(rep *Report) {
+	rep.CorpusSize = f.corpus.Len()
+	rep.UniquePairs = f.fb.UniquePairs()
+	rep.UniqueSigs = f.fb.UniqueSigs()
+	rep.SigFrequencies = f.fb.SigFrequencies()
+}
+
+// Feedback exposes the campaign's feedback state (read-only use).
+func (f *Fuzzer) Feedback() *Feedback { return f.fb }
+
+// Corpus exposes the campaign's corpus (read-only use).
+func (f *Fuzzer) Corpus() *Corpus { return f.corpus }
+
+// Pool exposes the campaign's event pool (read-only use).
+func (f *Fuzzer) Pool() *EventPool { return f.pool }

@@ -1,0 +1,531 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes one execution.
+type Config struct {
+	// Scheduler decides every scheduling point. Required.
+	Scheduler Scheduler
+	// Seed is passed to the scheduler's Begin; with a deterministic
+	// scheduler the whole execution is a pure function of (program, seed).
+	Seed int64
+	// MaxSteps bounds the number of recorded events (livelock guard).
+	// Zero means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the per-execution event budget used when
+// Config.MaxSteps is zero.
+const DefaultMaxSteps = 20000
+
+// Result is the outcome of one controlled execution.
+type Result struct {
+	Program string
+	Seed    int64
+	Trace   *Trace
+	// Failure is non-nil if the execution crashed (assertion, deadlock,
+	// memory-safety, panic).
+	Failure *Failure
+	// Truncated reports that the step budget was exhausted before the
+	// program finished (treated as a non-buggy execution).
+	Truncated bool
+}
+
+// Buggy reports whether the execution exposed a bug.
+func (r *Result) Buggy() bool { return r.Failure != nil }
+
+// Steps returns the number of events executed.
+func (r *Result) Steps() int { return r.Trace.Len() }
+
+type noteKind uint8
+
+const (
+	noteParked noteKind = iota + 1
+	noteExited
+)
+
+type notice struct {
+	th   *Thread
+	kind noteKind
+}
+
+// Engine serializes one execution of a Program under a Scheduler. A fresh
+// Engine is built per execution by Run; it is not reusable.
+type Engine struct {
+	cfg  Config
+	name string
+
+	threads   []*Thread // index = ThreadID-1
+	objs      []*object // index = VarID-1
+	objByName map[string]*object
+
+	trace   *Trace
+	notify  chan notice
+	running int // PUT goroutines currently executing (not parked/exited)
+
+	failure   *Failure
+	truncated bool
+	abort     bool
+}
+
+// Run executes program p to completion (or bug / deadlock / step budget)
+// under cfg and returns the result. It is safe to call Run concurrently
+// from multiple goroutines; each call owns an independent engine.
+func Run(name string, p Program, cfg Config) *Result {
+	if cfg.Scheduler == nil {
+		panic("exec.Run: Config.Scheduler is required")
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	e := &Engine{
+		cfg:       cfg,
+		name:      name,
+		objByName: make(map[string]*object),
+		trace:     &Trace{},
+		notify:    make(chan notice),
+	}
+	cfg.Scheduler.Begin(cfg.Seed)
+
+	main := &Thread{name: "main", eng: e, body: p, grant: make(chan struct{})}
+	e.addThread(main)
+	main.state = tRunning
+	e.running = 1
+	go main.run()
+
+	e.loop()
+	e.teardown()
+
+	cfg.Scheduler.End(e.trace)
+	return &Result{
+		Program:   name,
+		Seed:      cfg.Seed,
+		Trace:     e.trace,
+		Failure:   e.failure,
+		Truncated: e.truncated,
+	}
+}
+
+// addThread registers a thread and assigns its ID.
+func (e *Engine) addThread(th *Thread) {
+	e.threads = append(e.threads, th)
+	th.id = ThreadID(len(e.threads))
+}
+
+func (e *Engine) thread(id ThreadID) *Thread { return e.threads[id-1] }
+
+// quiesce blocks until no PUT goroutine is running (all live threads are
+// parked at pending events or have exited).
+func (e *Engine) quiesce() {
+	for e.running > 0 {
+		n := <-e.notify
+		e.running--
+		switch n.kind {
+		case noteParked:
+			n.th.state = tParked
+		case noteExited:
+			n.th.state = tExited
+		}
+	}
+}
+
+// loop is the main scheduling loop: quiesce, collect enabled pendings, let
+// the scheduler pick, execute one step.
+func (e *Engine) loop() {
+	for {
+		e.quiesce()
+		if e.failure != nil {
+			return // thread panic or engine-detected misuse
+		}
+		if th := e.failedThread(); th != nil {
+			p := th.pending
+			e.record(Event{Thread: th.id, Op: OpFail, Loc: p.Loc})
+			e.failure = &Failure{Kind: p.FailKind, Msg: p.FailMsg, Thread: th.id, Loc: p.Loc}
+			return
+		}
+		cands := e.enabledThreads()
+		if len(cands) == 0 {
+			if blocked := e.parkedThreads(); len(blocked) > 0 {
+				e.failure = e.deadlockFailure(blocked)
+			}
+			return // normal termination: every thread exited
+		}
+		if e.trace.Len() >= e.cfg.MaxSteps {
+			e.truncated = true
+			return
+		}
+		view := &View{Step: e.trace.Len(), Enabled: make([]Pending, len(cands)), eng: e}
+		for i, th := range cands {
+			view.Enabled[i] = th.pending
+		}
+		idx := e.cfg.Scheduler.Pick(view)
+		if idx < 0 || idx >= len(cands) {
+			panic(fmt.Sprintf("exec: scheduler %q returned out-of-range index %d (enabled %d)",
+				e.cfg.Scheduler.Name(), idx, len(cands)))
+		}
+		e.step(cands[idx])
+	}
+}
+
+// parkedThreads returns live parked threads in thread-ID order.
+func (e *Engine) parkedThreads() []*Thread {
+	var out []*Thread
+	for _, th := range e.threads {
+		if th.state == tParked {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// enabledThreads returns parked threads whose pending event is enabled, in
+// thread-ID order (the deterministic candidate order seen by schedulers).
+func (e *Engine) enabledThreads() []*Thread {
+	var out []*Thread
+	for _, th := range e.threads {
+		if th.state == tParked && e.enabled(th) {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// enabled implements the enabledness rules: locks need a free mutex,
+// condition reacquires additionally need a signal, joins need an exited
+// target; everything else is always enabled.
+func (e *Engine) enabled(th *Thread) bool {
+	p := th.pending
+	switch p.Op {
+	case OpLock:
+		return e.objs[p.Var-1].holder == nil
+	case OpLockRe:
+		return th.signaled && e.objs[p.Var-1].holder == nil
+	case OpJoin:
+		return e.thread(p.Target).exited
+	case OpRLock:
+		return e.objs[p.Var-1].writer == nil
+	case OpWLock:
+		o := e.objs[p.Var-1]
+		return o.writer == nil && o.readers == 0
+	case OpSemWait:
+		return e.objs[p.Var-1].val > 0
+	case OpBarrier:
+		o := e.objs[p.Var-1]
+		if o.releasing[th] {
+			return true
+		}
+		return e.barrierArrivals(o) >= int(o.val)
+	default:
+		return true
+	}
+}
+
+// barrierArrivals counts the threads parked at the barrier for the
+// *current* generation — waiters already released but not yet scheduled
+// belong to the previous generation and must not count.
+func (e *Engine) barrierArrivals(o *object) int {
+	n := 0
+	for _, th := range e.threads {
+		if th.state == tParked && th.pending.Op == OpBarrier && th.pending.Var == o.id && !o.releasing[th] {
+			n++
+		}
+	}
+	return n
+}
+
+// failedThread returns the thread parked at an OpFail pending, if any. At
+// most one can appear per quiesce since only one thread ran.
+func (e *Engine) failedThread() *Thread {
+	for _, th := range e.threads {
+		if th.state == tParked && th.pending.Op == OpFail {
+			return th
+		}
+	}
+	return nil
+}
+
+func (e *Engine) liveCount() int {
+	n := 0
+	for _, th := range e.threads {
+		if th.state != tExited {
+			n++
+		}
+	}
+	return n
+}
+
+// record appends an event to the trace, assigns its ID, and reports it to
+// the scheduler. Returns the event ID.
+func (e *Engine) record(ev Event) int {
+	ev.ID = e.trace.Len() + 1
+	e.trace.Events = append(e.trace.Events, ev)
+	e.cfg.Scheduler.Executed(ev)
+	return ev.ID
+}
+
+// resume grants the thread its step; it runs PUT code until its next park
+// or exit.
+func (e *Engine) resume(th *Thread) {
+	th.state = tRunning
+	e.running++
+	th.grant <- struct{}{}
+}
+
+// misuse reports incorrect API usage by the PUT (e.g. unlocking an unheld
+// mutex) as a crash, matching undefined-behaviour outcomes in pthreads.
+func (e *Engine) misuse(th *Thread, msg string) {
+	e.failure = &Failure{Kind: FailPanic, Msg: msg, Thread: th.id, Loc: th.pending.Loc}
+}
+
+// step executes the chosen thread's pending event: applies its semantics to
+// the shared state, records trace events, and resumes the thread.
+func (e *Engine) step(th *Thread) {
+	p := th.pending
+	e.trace.Decisions = append(e.trace.Decisions, th.id)
+	switch p.Op {
+	case OpVarInit:
+		o := th.newObj
+		th.newObj = nil
+		if _, dup := e.objByName[o.name]; dup {
+			e.misuse(th, fmt.Sprintf("duplicate shared object name %q", o.name))
+			return
+		}
+		e.objs = append(e.objs, o)
+		o.id = VarID(len(e.objs))
+		e.objByName[o.name] = o
+		ev := Event{Thread: th.id, Op: OpVarInit, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val}
+		o.lastWrite = e.record(ev)
+		e.resume(th)
+
+	case OpRead:
+		o := e.objs[p.Var-1]
+		e.record(Event{Thread: th.id, Op: OpRead, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val, RF: o.lastWrite, Atomic: p.RMW != RMWNone})
+		th.retVal = o.val
+		th.retOK = false
+		switch p.RMW {
+		case RMWNone:
+		case RMWCAS:
+			if o.val == p.CASOld {
+				o.val = p.Val
+				o.lastWrite = e.record(Event{Thread: th.id, Op: OpWrite, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val, Atomic: true})
+				th.retOK = true
+			}
+		case RMWAdd:
+			o.val += p.Val
+			o.lastWrite = e.record(Event{Thread: th.id, Op: OpWrite, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val, Atomic: true})
+		case RMWSwap:
+			o.val = p.Val
+			o.lastWrite = e.record(Event{Thread: th.id, Op: OpWrite, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val, Atomic: true})
+		}
+		e.resume(th)
+
+	case OpWrite:
+		o := e.objs[p.Var-1]
+		o.val = p.Val
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpWrite, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val})
+		e.resume(th)
+
+	case OpLock:
+		// A lock acquisition reads the lock word released by the last
+		// unlock/wait (or the initializer) and overwrites it — so it both
+		// carries a reads-from edge and is a reads-from source.
+		o := e.objs[p.Var-1]
+		o.holder = th
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpLock, Var: o.id, VarStr: o.name, Loc: p.Loc, RF: o.lastWrite})
+		e.resume(th)
+
+	case OpUnlock:
+		o := e.objs[p.Var-1]
+		if o.holder != th {
+			e.misuse(th, fmt.Sprintf("unlock of mutex %q not held by thread %d", o.name, th.id))
+			return
+		}
+		o.holder = nil
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpUnlock, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpWait:
+		o := e.objs[p.Var-1]
+		m := o.mutex.obj
+		if m.holder != th {
+			e.misuse(th, fmt.Sprintf("wait on condition %q without holding mutex %q", o.name, m.name))
+			return
+		}
+		m.holder = nil
+		o.waiters = append(o.waiters, th)
+		// The wait releases the mutex: its event becomes the mutex
+		// word's last write, so the next acquisition reads-from it.
+		m.lastWrite = e.record(Event{Thread: th.id, Op: OpWait, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th) // thread immediately reparks at OpLockRe
+
+	case OpLockRe:
+		o := e.objs[p.Var-1]
+		o.holder = th
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpLockRe, Var: o.id, VarStr: o.name, Loc: p.Loc, RF: o.lastWrite})
+		e.resume(th)
+
+	case OpSignal:
+		o := e.objs[p.Var-1]
+		if len(o.waiters) > 0 {
+			w := o.waiters[0]
+			o.waiters = o.waiters[1:]
+			w.signaled = true
+		}
+		e.record(Event{Thread: th.id, Op: OpSignal, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpBroadcast:
+		o := e.objs[p.Var-1]
+		for _, w := range o.waiters {
+			w.signaled = true
+		}
+		o.waiters = nil
+		e.record(Event{Thread: th.id, Op: OpBroadcast, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpSpawn:
+		child := th.newChild
+		th.newChild = nil
+		e.addThread(child)
+		child.state = tParked
+		child.pending = Pending{Thread: child.id, Op: OpBegin, Loc: p.Loc}
+		e.record(Event{Thread: th.id, Op: OpSpawn, Loc: p.Loc, Target: child.id})
+		e.resume(th)
+
+	case OpBegin:
+		e.record(Event{Thread: th.id, Op: OpBegin, Loc: p.Loc})
+		th.state = tRunning
+		e.running++
+		go th.run()
+
+	case OpJoin:
+		e.record(Event{Thread: th.id, Op: OpJoin, Loc: p.Loc, Target: p.Target})
+		e.resume(th)
+
+	case OpYield:
+		e.record(Event{Thread: th.id, Op: OpYield, Loc: p.Loc})
+		e.resume(th)
+
+	case OpTryLock:
+		o := e.objs[p.Var-1]
+		ev := Event{Thread: th.id, Op: OpTryLock, Var: o.id, VarStr: o.name, Loc: p.Loc}
+		if o.holder == nil {
+			o.holder = th
+			ev.Val = 1
+			ev.RF = o.lastWrite
+			o.lastWrite = e.record(ev)
+			th.retOK = true
+		} else {
+			e.record(ev) // failed attempt: no edge, no word update
+			th.retOK = false
+		}
+		e.resume(th)
+
+	case OpRLock:
+		o := e.objs[p.Var-1]
+		o.readers++
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpRLock, Var: o.id, VarStr: o.name, Loc: p.Loc, RF: o.lastWrite})
+		e.resume(th)
+
+	case OpRUnlock:
+		o := e.objs[p.Var-1]
+		if o.readers == 0 {
+			e.misuse(th, fmt.Sprintf("read-unlock of rwlock %q with no readers", o.name))
+			return
+		}
+		o.readers--
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpRUnlock, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpWLock:
+		o := e.objs[p.Var-1]
+		o.writer = th
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpWLock, Var: o.id, VarStr: o.name, Loc: p.Loc, RF: o.lastWrite})
+		e.resume(th)
+
+	case OpWUnlock:
+		o := e.objs[p.Var-1]
+		if o.writer != th {
+			e.misuse(th, fmt.Sprintf("write-unlock of rwlock %q not held by thread %d", o.name, th.id))
+			return
+		}
+		o.writer = nil
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpWUnlock, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpSemWait:
+		o := e.objs[p.Var-1]
+		o.val--
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpSemWait, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val, RF: o.lastWrite})
+		e.resume(th)
+
+	case OpSemPost:
+		o := e.objs[p.Var-1]
+		o.val++
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpSemPost, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val})
+		e.resume(th)
+
+	case OpBarrier:
+		o := e.objs[p.Var-1]
+		if !o.releasing[th] {
+			// Final arrival: open the gate for everyone parked here.
+			if o.releasing == nil {
+				o.releasing = make(map[*Thread]bool)
+			}
+			for _, other := range e.threads {
+				if other.state == tParked && other.pending.Op == OpBarrier && other.pending.Var == o.id {
+					o.releasing[other] = true
+				}
+			}
+		}
+		delete(o.releasing, th)
+		e.record(Event{Thread: th.id, Op: OpBarrier, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	default:
+		panic(fmt.Sprintf("exec: unschedulable pending op %v", p.Op))
+	}
+}
+
+// deadlockFailure builds the failure report for a detected deadlock.
+func (e *Engine) deadlockFailure(blocked []*Thread) *Failure {
+	var b strings.Builder
+	for i, th := range blocked {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "t%d(%s) blocked at %s", th.id, th.name, th.pending.Op)
+		if th.pending.VarName != "" {
+			fmt.Fprintf(&b, "(%s)", th.pending.VarName)
+		}
+		if th.pending.Loc != "" {
+			fmt.Fprintf(&b, "@%s", th.pending.Loc)
+		}
+	}
+	return &Failure{Kind: FailDeadlock, Msg: b.String()}
+}
+
+// teardown unwinds every remaining thread: parked goroutines are granted
+// with the abort flag set, making their next park panic through the PUT
+// body; threads never started (parked at OpBegin) are simply marked
+// exited. After teardown no PUT goroutine of this engine survives.
+func (e *Engine) teardown() {
+	e.abort = true
+	for _, th := range e.threads {
+		if th.state != tParked {
+			continue
+		}
+		if th.pending.Op == OpBegin {
+			th.state = tExited
+			th.exited = true
+			continue
+		}
+		th.state = tRunning
+		e.running++
+		th.grant <- struct{}{}
+		e.quiesce()
+	}
+}

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Event is one executed step of a concrete schedule: the paper's
+// e = <id, t, op(x)@l> extended with the observed/stored value and, for
+// reads, the reads-from edge.
+type Event struct {
+	ID     int      // 1-based position in the trace
+	Thread ThreadID // executing thread
+	Op     Op
+	Var    VarID  // shared object operated on (0 if none, e.g. spawn/yield)
+	VarStr string // stable name of the shared object ("" if none)
+	Loc    string // source location of the operation
+	Val    int64  // value read or written (reads/writes/init only)
+	RF     int    // reads only: trace ID of the write event observed
+	// Atomic marks the read/write halves of atomic RMWs (CAS,
+	// fetch-add, swap): they synchronize rather than race, which the
+	// happens-before race detector relies on.
+	Atomic bool
+	Target ThreadID
+	// Target is the spawned thread for OpSpawn and the joined thread for
+	// OpJoin; 0 otherwise.
+}
+
+// Abstract projects the concrete event to its abstract event op(x)@loc.
+func (e Event) Abstract() AbstractEvent {
+	return AbstractEvent{Op: e.Op, Var: e.VarStr, Loc: e.Loc}
+}
+
+// String renders the event compactly for logs and test diagnostics.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d t%d %s", e.ID, e.Thread, e.Op)
+	if e.VarStr != "" {
+		s += "(" + e.VarStr + ")"
+	}
+	if e.Loc != "" {
+		s += "@" + e.Loc
+	}
+	switch {
+	case e.Op.IsRead():
+		s += fmt.Sprintf("=%d<-#%d", e.Val, e.RF)
+	case e.Op.IsWrite():
+		s += fmt.Sprintf("=%d", e.Val)
+	case e.Op == OpSpawn || e.Op == OpJoin:
+		s += fmt.Sprintf("->t%d", e.Target)
+	}
+	return s
+}
+
+// Trace is the concrete schedule observed by one execution: the ordered
+// event sequence plus the reads-from function (stored on the read events
+// themselves).
+type Trace struct {
+	Events []Event
+	// Decisions records the thread chosen at each scheduling point, in
+	// order. Unlike Events it is exactly one entry per scheduler Pick
+	// (an RMW records two events for one decision), so feeding it to a
+	// replay scheduler reproduces the trace.
+	Decisions []ThreadID
+}
+
+// Len returns the number of events in the trace.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Event returns the event with trace ID id (1-based).
+func (t *Trace) Event(id int) Event { return t.Events[id-1] }
+
+// RFPairs extracts the abstract reads-from pairs of the trace, one per read
+// event, deduplicated and sorted deterministically. This is the feedback
+// signal of the fuzzer: an execution is interesting when it exhibits a pair
+// never seen before.
+func (t *Trace) RFPairs() []RFPair {
+	seen := make(map[RFPair]struct{})
+	var pairs []RFPair
+	for _, e := range t.Events {
+		if !e.Op.ReadsFrom() || e.RF == 0 {
+			continue
+		}
+		p := RFPair{Write: t.Event(e.RF).Abstract(), Read: e.Abstract()}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		pairs = append(pairs, p)
+	}
+	SortRFPairs(pairs)
+	return pairs
+}
+
+// SortRFPairs orders pairs deterministically (by read then write).
+func SortRFPairs(pairs []RFPair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Read != pairs[j].Read {
+			return lessAbstract(pairs[i].Read, pairs[j].Read)
+		}
+		return lessAbstract(pairs[i].Write, pairs[j].Write)
+	})
+}
+
+func lessAbstract(a, b AbstractEvent) bool {
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	if a.Loc != b.Loc {
+		return a.Loc < b.Loc
+	}
+	return a.Op < b.Op
+}
+
+// RFSignature hashes the trace's reads-from combination — the set of
+// abstract reads-from pairs — to a single value. Two reads-from equivalent
+// executions have equal signatures; the fuzzer's power schedule counts how
+// often each signature has been observed (the paper's f(alpha)), and the
+// Figure 5 experiment plots the frequency distribution of signatures.
+func (t *Trace) RFSignature() uint64 {
+	h := fnv.New64a()
+	for _, p := range t.RFPairs() {
+		h.Write([]byte(p.Write.Var))
+		h.Write([]byte{byte(p.Write.Op)})
+		h.Write([]byte(p.Write.Loc))
+		h.Write([]byte(p.Read.Var))
+		h.Write([]byte{byte(p.Read.Op)})
+		h.Write([]byte(p.Read.Loc))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// HashRFPair hashes one reads-from pair; the commutative combination of
+// pair hashes (XOR) is the state abstraction used by the Q-Learning-RF
+// baseline (Section 5.5).
+func HashRFPair(p RFPair) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Write.Var))
+	h.Write([]byte{byte(p.Write.Op)})
+	h.Write([]byte(p.Write.Loc))
+	h.Write([]byte{1})
+	h.Write([]byte(p.Read.Var))
+	h.Write([]byte{byte(p.Read.Op)})
+	h.Write([]byte(p.Read.Loc))
+	return h.Sum64()
+}
+
+// AbstractEvents returns the deduplicated, deterministically ordered
+// abstract events observed by the trace. The fuzzer accumulates these into
+// its event pool E, from which mutation constraints are drawn.
+func (t *Trace) AbstractEvents() []AbstractEvent {
+	seen := make(map[AbstractEvent]struct{})
+	var evs []AbstractEvent
+	for _, e := range t.Events {
+		a := e.Abstract()
+		if a.Var == "" {
+			continue // spawn/yield/etc. carry no shared object
+		}
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		evs = append(evs, a)
+	}
+	sort.Slice(evs, func(i, j int) bool { return lessAbstract(evs[i], evs[j]) })
+	return evs
+}
+
+// ThreadOrder returns a copy of the scheduling decisions of the run;
+// feeding it to a replay scheduler reproduces the trace exactly.
+func (t *Trace) ThreadOrder() []ThreadID {
+	order := make([]ThreadID, len(t.Decisions))
+	copy(order, t.Decisions)
+	return order
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package exec
+
+import "fmt"
+
+// FailureKind classifies the bug oracles the engine reports, mirroring the
+// paper's evaluation (assertion violations, deadlocks, memory-safety
+// failures detected by a crash oracle).
+type FailureKind uint8
+
+const (
+	// FailAssert is a violated Thread.Assert — the dominant bug class in
+	// SCTBench (34/49 programs).
+	FailAssert FailureKind = iota + 1
+	// FailDeadlock is reported by the engine's built-in deadlock detector
+	// when live threads remain but no pending event is enabled.
+	FailDeadlock
+	// FailMemory is a simulated memory-safety violation (use-after-free,
+	// null dereference, double free) raised by Thread.FailMemory; it is
+	// the stand-in for the segfault oracle on the ConVul CVE programs.
+	FailMemory
+	// FailPanic is a runtime panic escaping PUT code (e.g. an index out
+	// of range in thread-local logic) — the analogue of a native crash.
+	FailPanic
+)
+
+var failureNames = [...]string{
+	FailAssert:   "assertion violation",
+	FailDeadlock: "deadlock",
+	FailMemory:   "memory-safety violation",
+	FailPanic:    "panic",
+}
+
+// String names the failure kind.
+func (k FailureKind) String() string {
+	if int(k) < len(failureNames) && failureNames[k] != "" {
+		return failureNames[k]
+	}
+	return "unknown failure"
+}
+
+// Failure describes a bug manifestation in one execution.
+type Failure struct {
+	Kind   FailureKind
+	Msg    string
+	Thread ThreadID // thread that failed (0 for deadlock)
+	Loc    string   // source location of the failing operation, if known
+}
+
+// Error implements the error interface so a Failure can flow through error
+// plumbing in harnesses.
+func (f *Failure) Error() string {
+	if f.Loc != "" {
+		return fmt.Sprintf("%s at %s (thread %d): %s", f.Kind, f.Loc, f.Thread, f.Msg)
+	}
+	return fmt.Sprintf("%s (thread %d): %s", f.Kind, f.Thread, f.Msg)
+}

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// locCache interns "file.go:line" strings for program counters so that
+// repeated events at the same call site share one string and location
+// capture stays cheap inside the event hot path.
+var locCache sync.Map // uintptr -> string
+
+// callerLoc returns the source location ("file.go:123", base name only) of
+// the caller skip frames above callerLoc itself. It is the engine's analogue
+// of the paper's instruction address l in op(x)@l: PUT code gets stable,
+// human-readable event locations with zero annotation burden.
+func callerLoc(skip int) string {
+	pc, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return "?"
+	}
+	if v, hit := locCache.Load(pc); hit {
+		return v.(string)
+	}
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	loc := file + ":" + strconv.Itoa(line)
+	locCache.Store(pc, loc)
+	return loc
+}

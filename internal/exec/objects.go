@@ -1,0 +1,129 @@
+package exec
+
+// objKind distinguishes the classes of shared objects in the engine's
+// registry.
+type objKind uint8
+
+const (
+	objVar objKind = iota + 1
+	objMutex
+	objCond
+	objRWMutex
+	objSemaphore
+	objBarrier
+)
+
+// object is the engine-side record for one shared object.
+type object struct {
+	id   VarID
+	kind objKind
+	name string
+
+	// data variables
+	val       int64
+	lastWrite int // trace ID of the last write (init write included)
+
+	// mutexes
+	holder *Thread // nil when free
+
+	// condition variables
+	mutex   *Mutex
+	waiters []*Thread // FIFO wait queue
+
+	// reader-writer locks
+	readers int
+	writer  *Thread
+
+	// barriers (val doubles as the party count; semaphores use val as
+	// the live count)
+	releasing map[*Thread]bool
+}
+
+// Var is a shared integer variable: the PUT-visible handle for one shared
+// memory location. All access goes through Thread.Read/Write/etc. so every
+// access is a scheduling point, exactly as under the paper's binary
+// instrumentation.
+type Var struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the variable (used in abstract events).
+func (v *Var) Name() string { return v.obj.name }
+
+// ID returns the variable's per-execution ID.
+func (v *Var) ID() VarID { return v.obj.id }
+
+// Mutex is a non-reentrant mutual-exclusion lock with pthread-like
+// semantics: relocking by the holder blocks forever (a detectable
+// deadlock), unlocking a mutex not held by the caller is a program error.
+type Mutex struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the mutex.
+func (m *Mutex) Name() string { return m.obj.name }
+
+// ID returns the mutex's per-execution ID.
+func (m *Mutex) ID() VarID { return m.obj.id }
+
+// Cond is a condition variable bound to a Mutex, with pthread semantics:
+// signals with no waiters are lost, waiters reacquire the mutex before
+// returning from Wait, wakeup order is FIFO and deterministic.
+type Cond struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the condition variable.
+func (c *Cond) Name() string { return c.obj.name }
+
+// ID returns the condition variable's per-execution ID.
+func (c *Cond) ID() VarID { return c.obj.id }
+
+// Mutex returns the mutex the condition variable is bound to.
+func (c *Cond) Mutex() *Mutex { return &Mutex{obj: c.obj.mutex.obj, eng: c.eng} }
+
+// RWMutex is a reader-writer lock with pthread_rwlock semantics: any
+// number of concurrent readers, or one writer; writers wait for all
+// readers to drain.
+type RWMutex struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the lock.
+func (m *RWMutex) Name() string { return m.obj.name }
+
+// ID returns the lock's per-execution ID.
+func (m *RWMutex) ID() VarID { return m.obj.id }
+
+// Semaphore is a counting semaphore with sem_wait/sem_post semantics:
+// waits block while the count is zero.
+type Semaphore struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the semaphore.
+func (s *Semaphore) Name() string { return s.obj.name }
+
+// ID returns the semaphore's per-execution ID.
+func (s *Semaphore) ID() VarID { return s.obj.id }
+
+// Barrier is a pthread_barrier: Wait blocks until the configured number
+// of parties have arrived, then releases them all.
+type Barrier struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the barrier.
+func (b *Barrier) Name() string { return b.obj.name }
+
+// ID returns the barrier's per-execution ID.
+func (b *Barrier) ID() VarID { return b.obj.id }
+
+// Parties returns the number of threads the barrier synchronizes.
+func (b *Barrier) Parties() int { return int(b.obj.val) }

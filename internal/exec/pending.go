@@ -1,0 +1,154 @@
+package exec
+
+// RMWKind distinguishes the atomic read-modify-write flavours. An RMW is a
+// single scheduling point that records a read event followed (possibly
+// conditionally, for CAS) by a write event with no preemption in between,
+// matching the atomicity of the underlying hardware instruction.
+type RMWKind uint8
+
+const (
+	// RMWNone marks a plain (non-RMW) operation.
+	RMWNone RMWKind = iota
+	// RMWCAS is compare-and-swap: the write happens iff the read value
+	// equals the expected value.
+	RMWCAS
+	// RMWAdd is atomic fetch-and-add.
+	RMWAdd
+	// RMWSwap is atomic exchange.
+	RMWSwap
+)
+
+// Pending describes the event a parked thread is about to execute. The
+// engine exposes the enabled Pendings to the Scheduler each step; picking
+// one grants its thread a single step.
+type Pending struct {
+	Thread  ThreadID
+	Seq     int // thread-local op counter; (Thread, Seq) identifies this event instance
+	Op      Op
+	Var     VarID
+	VarName string
+	Loc     string
+	Val     int64 // value to write (writes), delta (RMWAdd), new value (RMWSwap/CAS)
+	Target  ThreadID
+
+	// RMW metadata (Op is OpRead for all RMWs; IsWriteLike additionally
+	// holds so conflict detection sees the store half).
+	RMW    RMWKind
+	CASOld int64
+
+	// Failure metadata for OpFail pendings.
+	FailKind FailureKind
+	FailMsg  string
+}
+
+// Abstract projects the pending operation to the abstract event it would
+// instantiate if executed. For RMWs this is the read half; use
+// AbstractWrite for the store half.
+func (p Pending) Abstract() AbstractEvent {
+	return AbstractEvent{Op: p.Op, Var: p.VarName, Loc: p.Loc}
+}
+
+// AbstractWrite returns the abstract event under which this pending would
+// be recorded as a reads-from *source*, and ok=false for non-writing
+// pendings. For a plain write it equals Abstract(); for an RMW it is the
+// store half; for lock-word updates (lock/unlock/wait) it is the event
+// itself, since later acquisitions read-from the recorded lock event.
+func (p Pending) AbstractWrite() (AbstractEvent, bool) {
+	switch {
+	case p.Op == OpWrite, p.Op == OpLock, p.Op == OpLockRe, p.Op == OpUnlock, p.Op == OpWait:
+		return p.Abstract(), true
+	case p.RMW != RMWNone:
+		return AbstractEvent{Op: OpWrite, Var: p.VarName, Loc: p.Loc}, true
+	}
+	return AbstractEvent{}, false
+}
+
+// IsWriteLike reports whether executing the pending acts as a reads-from
+// source on its variable (stores, RMWs, and lock-word updates).
+func (p Pending) IsWriteLike() bool {
+	return p.Op == OpWrite || p.RMW != RMWNone || p.Op.ActsAsWrite() && p.Op != OpVarInit
+}
+
+// IsReadLike reports whether executing the pending carries a reads-from
+// edge (loads, RMWs, and lock acquisitions).
+func (p Pending) IsReadLike() bool { return p.Op.ReadsFrom() }
+
+// View is the scheduler's window onto the engine state at one scheduling
+// decision: the enabled pending events (in deterministic thread-ID order)
+// plus read-only queries about variables and the execution so far.
+type View struct {
+	// Step is the number of events executed so far.
+	Step int
+	// Enabled lists the enabled pending events, ordered by thread ID.
+	Enabled []Pending
+
+	eng *Engine
+}
+
+// LastWrite returns the abstract event and trace ID of the most recent
+// reads-from source on the named shared object — the last write for a data
+// variable, the last lock-word update for a mutex (the synthetic init
+// event if untouched). ok is false if no such object exists yet.
+func (v *View) LastWrite(varName string) (ae AbstractEvent, id int, ok bool) {
+	o := v.eng.objByName[varName]
+	if o == nil || o.lastWrite == 0 {
+		return AbstractEvent{}, 0, false
+	}
+	return v.eng.trace.Event(o.lastWrite).Abstract(), o.lastWrite, true
+}
+
+// VarValue returns the current value of the named variable.
+func (v *View) VarValue(varName string) (val int64, ok bool) {
+	o := v.eng.objByName[varName]
+	if o == nil || o.kind != objVar {
+		return 0, false
+	}
+	return o.val, true
+}
+
+// LiveThreads returns the number of threads that have started and not yet
+// exited (parked, blocked, or pending — not necessarily enabled).
+func (v *View) LiveThreads() int { return v.eng.liveCount() }
+
+// Races reports whether two pending events conflict: both target the same
+// shared variable with at least one write half, from different threads —
+// or contend for the same mutex. This is the racing relation used by POS
+// to reset priority scores.
+func Races(a, b Pending) bool {
+	if a.Thread == b.Thread || a.Var == 0 || a.Var != b.Var {
+		return false
+	}
+	if a.Op == OpLock && b.Op == OpLock {
+		return true
+	}
+	dataA := a.IsReadLike() || a.IsWriteLike()
+	dataB := b.IsReadLike() || b.IsWriteLike()
+	return dataA && dataB && (a.IsWriteLike() || b.IsWriteLike())
+}
+
+// Scheduler decides, at every step of an execution, which enabled pending
+// event runs next. Implementations include uniform random walk, POS, PCT,
+// the Q-Learning-RF baseline, and RFF's proactive reads-from scheduler.
+//
+// The engine drives a scheduler through one execution as:
+//
+//	Begin(seed); { Pick(view); Executed(event) }*; End(trace)
+//
+// A scheduler instance may keep cross-execution state (PCT's length
+// estimates, Q-Learning's table); per-execution state must be reset in
+// Begin.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Begin starts a new execution with the given randomness seed.
+	Begin(seed int64)
+	// Pick returns the index into v.Enabled of the event to execute.
+	// The engine guarantees len(v.Enabled) > 0 and treats out-of-range
+	// returns as a scheduler bug (panic).
+	Pick(v *View) int
+	// Executed reports the event (or, for RMWs, the read half followed
+	// by a second call with the write half) that just ran.
+	Executed(ev Event)
+	// End reports the completed trace of the execution.
+	End(t *Trace)
+}

@@ -1,0 +1,201 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// genProgram builds a random but always-terminating program from a seed:
+// up to 4 worker threads, each a straight-line sequence of reads, writes,
+// non-atomic adds, CASes and balanced lock/unlock pairs over a small set
+// of shared variables and mutexes. No loops, so every schedule terminates
+// or deadlocks — either way the trace must validate.
+func genProgram(seed int64) exec.Program {
+	return func(t *exec.Thread) {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(3)
+		nMux := rng.Intn(3)
+		nThreads := 1 + rng.Intn(4)
+
+		vars := make([]*exec.Var, nVars)
+		for i := range vars {
+			vars[i] = t.NewVar(varName(i), int64(rng.Intn(5)))
+		}
+		muxes := make([]*exec.Mutex, nMux)
+		for i := range muxes {
+			muxes[i] = t.NewMutex("m" + string(rune('0'+i)))
+		}
+
+		type step struct{ op, varIdx, muxIdx, val int }
+		mkSteps := func(r *rand.Rand) []step {
+			n := 1 + r.Intn(8)
+			var steps []step
+			held := -1
+			for i := 0; i < n; i++ {
+				op := r.Intn(6)
+				if op == 4 && (nMux == 0 || held >= 0) {
+					op = 0
+				}
+				if op == 5 {
+					op = 1
+				}
+				s := step{op: op, val: r.Intn(10)}
+				if nVars > 0 {
+					s.varIdx = r.Intn(nVars)
+				}
+				if op == 4 {
+					s.muxIdx = r.Intn(nMux)
+					held = s.muxIdx
+					steps = append(steps, s)
+					// Do one protected op, then unlock.
+					steps = append(steps, step{op: r.Intn(2), varIdx: r.Intn(nVars), val: r.Intn(10)})
+					steps = append(steps, step{op: 5, muxIdx: held})
+					held = -1
+					continue
+				}
+				steps = append(steps, s)
+			}
+			return steps
+		}
+
+		runSteps := func(w *exec.Thread, steps []step) {
+			for _, s := range steps {
+				switch s.op {
+				case 0:
+					w.Read(vars[s.varIdx])
+				case 1:
+					w.Write(vars[s.varIdx], int64(s.val))
+				case 2:
+					w.Add(vars[s.varIdx], 1)
+				case 3:
+					w.CAS(vars[s.varIdx], int64(s.val), int64(s.val+1))
+				case 4:
+					w.Lock(muxes[s.muxIdx])
+				case 5:
+					w.Unlock(muxes[s.muxIdx])
+				}
+			}
+		}
+
+		children := make([]*exec.Thread, nThreads)
+		for i := range children {
+			steps := mkSteps(rand.New(rand.NewSource(seed + int64(i)*7919)))
+			children[i] = t.Go("w", func(w *exec.Thread) { runSteps(w, steps) })
+		}
+		t.JoinAll(children...)
+	}
+}
+
+func varName(i int) string { return "v" + string(rune('0'+i)) }
+
+// TestQuickTraceInvariants: every trace produced by any scheduler on any
+// generated program satisfies the reads-from invariants.
+func TestQuickTraceInvariants(t *testing.T) {
+	schedulers := []func() exec.Scheduler{
+		func() exec.Scheduler { return sched.NewRandom() },
+		func() exec.Scheduler { return sched.NewPOS() },
+		func() exec.Scheduler { return sched.NewPCT(3) },
+	}
+	f := func(progSeed, schedSeed int64) bool {
+		prog := genProgram(progSeed)
+		for _, mk := range schedulers {
+			res := exec.Run("quick", prog, exec.Config{Scheduler: mk(), Seed: schedSeed})
+			if err := res.Trace.Validate(); err != nil {
+				t.Logf("progSeed=%d schedSeed=%d: %v\n%s", progSeed, schedSeed, err, res.Trace)
+				return false
+			}
+			if res.Failure != nil && res.Failure.Kind != exec.FailDeadlock {
+				t.Logf("progSeed=%d: unexpected failure %v", progSeed, res.Failure)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReplayRoundTrip: replaying any trace's decisions reproduces it
+// event-for-event.
+func TestQuickReplayRoundTrip(t *testing.T) {
+	f := func(progSeed, schedSeed int64) bool {
+		prog := genProgram(progSeed)
+		orig := exec.Run("quick", prog, exec.Config{Scheduler: sched.NewPOS(), Seed: schedSeed})
+		rep := exec.Run("quick", prog, exec.Config{Scheduler: sched.NewReplay(orig.Trace.ThreadOrder())})
+		if orig.Trace.Len() != rep.Trace.Len() {
+			return false
+		}
+		for i := range orig.Trace.Events {
+			if orig.Trace.Events[i] != rep.Trace.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRFSignatureInvariance: the reads-from signature is a pure
+// function of the rf-pair set — equal traces agree, and the signature is
+// stable across recomputation.
+func TestQuickRFSignatureInvariance(t *testing.T) {
+	f := func(progSeed, schedSeed int64) bool {
+		prog := genProgram(progSeed)
+		res := exec.Run("quick", prog, exec.Config{Scheduler: sched.NewPOS(), Seed: schedSeed})
+		return res.Trace.RFSignature() == res.Trace.RFSignature() &&
+			len(res.Trace.RFPairs()) <= res.Trace.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashRFPairCommutative: XOR-combination of pair hashes is order
+// independent (the property the Q-Learning state abstraction requires).
+func TestQuickHashRFPairCommutative(t *testing.T) {
+	mk := func(a, b, c, d byte) exec.RFPair {
+		return exec.RFPair{
+			Write: exec.AbstractEvent{Op: exec.OpWrite, Var: string(rune('a' + a%4)), Loc: string(rune('l' + b%4))},
+			Read:  exec.AbstractEvent{Op: exec.OpRead, Var: string(rune('a' + c%4)), Loc: string(rune('l' + d%4))},
+		}
+	}
+	f := func(a1, b1, c1, d1, a2, b2, c2, d2 byte) bool {
+		p1, p2 := mk(a1, b1, c1, d1), mk(a2, b2, c2, d2)
+		return exec.HashRFPair(p1)^exec.HashRFPair(p2) == exec.HashRFPair(p2)^exec.HashRFPair(p1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateCatchesCorruption: Validate must reject manufactured bad
+// traces, not just accept good ones.
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := exec.Run("quick", genProgram(5), exec.Config{Scheduler: sched.NewPOS(), Seed: 5})
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	// Corrupt a read's rf edge.
+	bad := *res.Trace
+	bad.Events = append([]exec.Event(nil), res.Trace.Events...)
+	corrupted := false
+	for i := range bad.Events {
+		if bad.Events[i].Op.ReadsFrom() {
+			bad.Events[i].RF = bad.Events[i].ID // forward edge: invalid
+			corrupted = true
+			break
+		}
+	}
+	if corrupted {
+		if err := bad.Validate(); err == nil {
+			t.Fatal("corrupted trace accepted")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package exec_test
+
+import (
+	"testing"
+
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+func TestRWMutexSharedReaders(t *testing.T) {
+	// Two readers may hold the lock simultaneously; a writer excludes
+	// both. The "inside" counter checks overlap is possible and writer
+	// exclusion holds.
+	prog := func(t *exec.Thread) {
+		rw := t.NewRWMutex("rw")
+		inside := t.NewVar("inside", 0)
+		data := t.NewVar("data", 0)
+		reader := func(w *exec.Thread) {
+			w.RLock(rw)
+			w.AtomicAdd(inside, 1)
+			w.Read(data)
+			w.AtomicAdd(inside, -1)
+			w.RUnlock(rw)
+		}
+		writer := func(w *exec.Thread) {
+			w.WLock(rw)
+			n := w.Read(inside)
+			w.Assertf(n == 0, "writer overlapped %d readers", n)
+			w.Write(data, 1)
+			w.WUnlock(rw)
+		}
+		r1, r2 := t.Go("r1", reader), t.Go("r2", reader)
+		wr := t.Go("w", writer)
+		t.JoinAll(r1, r2, wr)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		res := exec.Run("rw", prog, exec.Config{Scheduler: sched.NewRandom(), Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: rwlock exclusion violated: %v\n%s", seed, res.Failure, res.Trace)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRWMutexWriterBlocksUntilReadersDrain(t *testing.T) {
+	// A single reader holding the lock keeps the writer disabled: under
+	// round-robin the reader (spawned first) wins, and the writer's
+	// lock event must come after the reader's unlock.
+	prog := func(t *exec.Thread) {
+		rw := t.NewRWMutex("rw")
+		r := t.Go("r", func(w *exec.Thread) {
+			w.RLock(rw)
+			w.Yield()
+			w.RUnlock(rw)
+		})
+		wr := t.Go("w", func(w *exec.Thread) {
+			w.WLock(rw)
+			w.WUnlock(rw)
+		})
+		t.JoinAll(r, wr)
+	}
+	res := exec.Run("rw", prog, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if res.Buggy() {
+		t.Fatalf("%v", res.Failure)
+	}
+	var runlockAt, wlockAt int
+	for _, e := range res.Trace.Events {
+		switch e.Op {
+		case exec.OpRUnlock:
+			runlockAt = e.ID
+		case exec.OpWLock:
+			wlockAt = e.ID
+		}
+	}
+	if wlockAt < runlockAt {
+		t.Fatalf("writer locked before reader released:\n%s", res.Trace)
+	}
+	// The write-lock's rf edge points at the read-unlock.
+	if res.Trace.Event(wlockAt).RF != runlockAt {
+		t.Fatalf("wlock should read-from runlock: %v", res.Trace.Event(wlockAt))
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		m := t.NewMutex("m")
+		t.Lock(m)
+		got := t.Go("got", func(w *exec.Thread) {
+			if w.TryLock(m) {
+				w.Fail(exec.FailAssert, "trylock succeeded on held mutex")
+			}
+		})
+		t.Join(got)
+		t.Unlock(m)
+		if !t.TryLock(m) {
+			t.Fail(exec.FailAssert, "trylock failed on free mutex")
+		}
+		t.Unlock(m)
+	}
+	res := exec.Run("try", prog, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if res.Buggy() {
+		t.Fatalf("%v", res.Failure)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreBlocksAtZero(t *testing.T) {
+	// Consumer waits twice on a zero semaphore; producer posts twice.
+	// Under every schedule the consumer's waits follow matching posts.
+	prog := func(t *exec.Thread) {
+		s := t.NewSemaphore("s", 0)
+		done := t.NewVar("done", 0)
+		c := t.Go("c", func(w *exec.Thread) {
+			w.SemWait(s)
+			w.SemWait(s)
+			w.Write(done, 1)
+		})
+		p := t.Go("p", func(w *exec.Thread) {
+			w.SemPost(s)
+			w.SemPost(s)
+		})
+		t.JoinAll(c, p)
+		t.Assert(t.Read(done) == 1, "consumer finished")
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		res := exec.Run("sem", prog, exec.Config{Scheduler: sched.NewRandom(), Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v\n%s", seed, res.Failure, res.Trace)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSemaphoreDeadlockDetected(t *testing.T) {
+	res := exec.Run("sem", func(t *exec.Thread) {
+		s := t.NewSemaphore("s", 0)
+		t.SemWait(s) // nobody posts
+	}, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if !res.Buggy() || res.Failure.Kind != exec.FailDeadlock {
+		t.Fatalf("want deadlock, got %v", res.Failure)
+	}
+}
+
+func TestBarrierReleasesAllParties(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		b := t.NewBarrier("b", 3)
+		before := t.NewVar("before", 0)
+		workers := make([]*exec.Thread, 3)
+		for i := range workers {
+			workers[i] = t.Go("w", func(w *exec.Thread) {
+				w.AtomicAdd(before, 1)
+				w.BarrierWait(b)
+				// Every thread past the barrier must see all arrivals.
+				w.Assertf(w.Read(before) == 3, "crossed barrier before all arrived: %d", w.Read(before))
+			})
+		}
+		t.JoinAll(workers...)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		res := exec.Run("barrier", prog, exec.Config{Scheduler: sched.NewRandom(), Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v\n%s", seed, res.Failure, res.Trace)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		b := t.NewBarrier("b", 2)
+		phase := t.NewVar("phase", 0)
+		mk := func(w *exec.Thread) {
+			w.BarrierWait(b)
+			w.AtomicAdd(phase, 1)
+			w.BarrierWait(b)
+			w.Assertf(w.Read(phase) == 2, "second phase started early: %d", w.Read(phase))
+		}
+		a, c := t.Go("a", mk), t.Go("c", mk)
+		t.JoinAll(a, c)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		res := exec.Run("barrier2", prog, exec.Config{Scheduler: sched.NewRandom(), Seed: seed})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v\n%s", seed, res.Failure, res.Trace)
+		}
+	}
+}
+
+func TestBarrierMissingPartyDeadlocks(t *testing.T) {
+	res := exec.Run("barrier", func(t *exec.Thread) {
+		b := t.NewBarrier("b", 2)
+		t.BarrierWait(b) // the second party never comes
+	}, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if !res.Buggy() || res.Failure.Kind != exec.FailDeadlock {
+		t.Fatalf("want deadlock, got %v", res.Failure)
+	}
+}
+
+func TestRWMisuseCrashes(t *testing.T) {
+	res := exec.Run("rw", func(t *exec.Thread) {
+		rw := t.NewRWMutex("rw")
+		t.RUnlock(rw)
+	}, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if !res.Buggy() || res.Failure.Kind != exec.FailPanic {
+		t.Fatalf("want misuse crash, got %v", res.Failure)
+	}
+	res = exec.Run("rw", func(t *exec.Thread) {
+		rw := t.NewRWMutex("rw")
+		t.WUnlock(rw)
+	}, exec.Config{Scheduler: sched.NewRoundRobin()})
+	if !res.Buggy() || res.Failure.Kind != exec.FailPanic {
+		t.Fatalf("want misuse crash, got %v", res.Failure)
+	}
+}

@@ -1,0 +1,379 @@
+package exec
+
+import "fmt"
+
+// Program is the body of a virtual thread. The main program and every
+// spawned thread have this signature; all interaction with shared state
+// goes through the Thread parameter.
+type Program func(t *Thread)
+
+// tstate tracks a thread's lifecycle from the engine's perspective.
+type tstate uint8
+
+const (
+	tRunning tstate = iota + 1 // executing PUT code; engine is waiting for it to park
+	tParked                    // parked at a pending event
+	tExited                    // body returned (or was aborted)
+)
+
+// abortPanic is the sentinel thrown through PUT code to unwind threads when
+// the engine tears an execution down.
+type abortPanic struct{}
+
+// Thread is a virtual thread handle: the API surface PUT code uses for all
+// shared-state interaction. Every method that touches shared state parks
+// the goroutine and waits for the engine's scheduler to grant the step, so
+// each call is one scheduling point (one instrumented instruction in the
+// paper's terms).
+type Thread struct {
+	id   ThreadID
+	name string
+	eng  *Engine
+	body Program
+
+	seq     int
+	pending Pending
+	state   tstate
+	grant   chan struct{}
+
+	// engine-managed blocking state
+	signaled bool    // condition wait has been signaled; may reacquire
+	exited   bool    // body returned
+	newObj   *object // object being registered by an OpVarInit park
+	newChild *Thread // child being registered by an OpSpawn park
+
+	// results handed back by the engine on grant
+	retVal int64
+	retOK  bool
+}
+
+// ID returns the thread's ID (main is 1; children numbered in spawn order).
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's name as given at spawn.
+func (t *Thread) Name() string { return t.name }
+
+// park publishes the pending event and blocks until the engine grants the
+// step (or aborts the execution).
+func (t *Thread) park(p Pending) {
+	t.seq++
+	p.Thread = t.id
+	p.Seq = t.seq
+	t.pending = p
+	t.eng.notify <- notice{th: t, kind: noteParked}
+	<-t.grant
+	if t.eng.abort {
+		panic(abortPanic{})
+	}
+}
+
+// run executes the thread body, converting stray panics into crash
+// failures and always notifying the engine of thread exit.
+func (t *Thread) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPanic); !ok && !t.eng.abort && t.eng.failure == nil {
+				// The engine is quiescent while this thread runs, so
+				// recording the failure here is race-free.
+				t.eng.failure = &Failure{
+					Kind:   FailPanic,
+					Msg:    fmt.Sprint(r),
+					Thread: t.id,
+				}
+			}
+		}
+		t.exited = true
+		t.eng.notify <- notice{th: t, kind: noteExited}
+	}()
+	t.body(t)
+}
+
+// --- shared-object creation -------------------------------------------------
+
+// NewVar creates a shared integer variable initialized to init. Creation
+// records the synthetic initial write event (the reads-from source for
+// reads observing the initial value). Names must be unique per execution.
+func (t *Thread) NewVar(name string, init int64) *Var {
+	o := &object{kind: objVar, name: name, val: init}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1), Val: init})
+	return &Var{obj: o, eng: t.eng}
+}
+
+// NewVars creates n shared variables named name[0..n-1], all initialized to
+// init — the engine's analogue of a shared array.
+func (t *Thread) NewVars(name string, n int, init int64) []*Var {
+	loc := callerLoc(1)
+	vars := make([]*Var, n)
+	for i := range vars {
+		nm := fmt.Sprintf("%s[%d]", name, i)
+		o := &object{kind: objVar, name: nm, val: init}
+		t.newObj = o
+		t.park(Pending{Op: OpVarInit, VarName: nm, Loc: loc, Val: init})
+		vars[i] = &Var{obj: o, eng: t.eng}
+	}
+	return vars
+}
+
+// NewMutex creates a mutex. Names must be unique per execution.
+func (t *Thread) NewMutex(name string) *Mutex {
+	o := &object{kind: objMutex, name: name}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1)})
+	return &Mutex{obj: o, eng: t.eng}
+}
+
+// NewCond creates a condition variable bound to m.
+func (t *Thread) NewCond(name string, m *Mutex) *Cond {
+	o := &object{kind: objCond, name: name, mutex: m}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1)})
+	return &Cond{obj: o, eng: t.eng}
+}
+
+// --- memory operations --------------------------------------------------------
+
+// Read loads the variable's current value. One scheduling point; records a
+// read event whose reads-from edge points at the last write.
+func (t *Thread) Read(v *Var) int64 {
+	t.park(Pending{Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: callerLoc(1)})
+	return t.retVal
+}
+
+// ReadAt is Read with an explicit source location, for PUT helpers that
+// want call-site-independent abstract events.
+func (t *Thread) ReadAt(v *Var, loc string) int64 {
+	t.park(Pending{Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: loc})
+	return t.retVal
+}
+
+// Write stores val into the variable. One scheduling point.
+func (t *Thread) Write(v *Var, val int64) {
+	t.park(Pending{Op: OpWrite, Var: v.obj.id, VarName: v.obj.name, Loc: callerLoc(1), Val: val})
+}
+
+// WriteAt is Write with an explicit source location.
+func (t *Thread) WriteAt(v *Var, val int64, loc string) {
+	t.park(Pending{Op: OpWrite, Var: v.obj.id, VarName: v.obj.name, Loc: loc, Val: val})
+}
+
+// Add performs a NON-atomic increment: a read scheduling point followed by
+// an independent write scheduling point, exactly like a compiled `x += d`
+// (load; add; store). Other threads may interleave between the halves —
+// the classic lost-update race.
+func (t *Thread) Add(v *Var, delta int64) int64 {
+	loc := callerLoc(1)
+	t.park(Pending{Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: loc})
+	nv := t.retVal + delta
+	t.park(Pending{Op: OpWrite, Var: v.obj.id, VarName: v.obj.name, Loc: loc, Val: nv})
+	return nv
+}
+
+// CAS performs an atomic compare-and-swap: one scheduling point recording a
+// read event and, iff the read value equals old, a write event with no
+// preemption in between. Returns the observed value and whether the swap
+// happened.
+func (t *Thread) CAS(v *Var, old, new int64) (int64, bool) {
+	t.park(Pending{
+		Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: callerLoc(1),
+		RMW: RMWCAS, CASOld: old, Val: new,
+	})
+	return t.retVal, t.retOK
+}
+
+// AtomicAdd performs an atomic fetch-and-add in one scheduling point,
+// returning the previous value.
+func (t *Thread) AtomicAdd(v *Var, delta int64) int64 {
+	t.park(Pending{
+		Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: callerLoc(1),
+		RMW: RMWAdd, Val: delta,
+	})
+	return t.retVal
+}
+
+// AtomicSwap atomically exchanges the variable's value in one scheduling
+// point, returning the previous value.
+func (t *Thread) AtomicSwap(v *Var, new int64) int64 {
+	t.park(Pending{
+		Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: callerLoc(1),
+		RMW: RMWSwap, Val: new,
+	})
+	return t.retVal
+}
+
+// --- synchronization ----------------------------------------------------------
+
+// Lock acquires the mutex; the pending lock is enabled only while the mutex
+// is free, so contention is a genuine scheduling choice.
+func (t *Thread) Lock(m *Mutex) {
+	t.park(Pending{Op: OpLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// Unlock releases the mutex. Unlocking a mutex the thread does not hold is
+// reported as a crash (undefined behaviour in pthreads).
+func (t *Thread) Unlock(m *Mutex) {
+	t.park(Pending{Op: OpUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// Wait atomically releases the condition's mutex and blocks until signaled,
+// then reacquires the mutex before returning (two events: OpWait and
+// OpLockRe). The caller must hold the mutex.
+func (t *Thread) Wait(c *Cond) {
+	loc := callerLoc(1)
+	t.park(Pending{Op: OpWait, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+	t.signaled = false
+	t.park(Pending{Op: OpLockRe, Var: c.obj.mutex.obj.id, VarName: c.obj.mutex.obj.name, Loc: loc})
+}
+
+// Signal wakes the longest-waiting thread blocked on the condition, if any;
+// a signal with no waiters is lost (pthread semantics — the source of
+// several SCTBench bugs).
+func (t *Thread) Signal(c *Cond) {
+	t.park(Pending{Op: OpSignal, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+}
+
+// Broadcast wakes all threads currently blocked on the condition.
+func (t *Thread) Broadcast(c *Cond) {
+	t.park(Pending{Op: OpBroadcast, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+}
+
+// --- threads -------------------------------------------------------------------
+
+// Go spawns a child thread executing body. The child is created parked at
+// its OpBegin event; its body runs only once the scheduler picks it.
+func (t *Thread) Go(name string, body Program) *Thread {
+	child := &Thread{name: name, eng: t.eng, body: body, grant: make(chan struct{})}
+	t.newChild = child
+	t.park(Pending{Op: OpSpawn, Loc: callerLoc(1)})
+	return child
+}
+
+// Join blocks until the child thread has finished; enabled only once the
+// target has exited.
+func (t *Thread) Join(child *Thread) {
+	t.park(Pending{Op: OpJoin, Loc: callerLoc(1), Target: child.id})
+}
+
+// JoinAll joins each thread in order.
+func (t *Thread) JoinAll(children ...*Thread) {
+	loc := callerLoc(1)
+	for _, c := range children {
+		t.park(Pending{Op: OpJoin, Loc: loc, Target: c.id})
+	}
+}
+
+// Yield is a pure scheduling point (sched_yield analogue).
+func (t *Thread) Yield() {
+	t.park(Pending{Op: OpYield, Loc: callerLoc(1)})
+}
+
+// --- oracles --------------------------------------------------------------------
+
+// Assert checks a PUT invariant over already-read (thread-local) values.
+// A passing assert is not a scheduling point; a failing assert ends the
+// execution with an assertion-violation failure — the paper's primary bug
+// oracle.
+func (t *Thread) Assert(cond bool, msg string) {
+	if cond {
+		return
+	}
+	t.park(Pending{Op: OpFail, Loc: callerLoc(1), FailKind: FailAssert, FailMsg: msg})
+}
+
+// Assertf is Assert with formatted message construction on failure only.
+func (t *Thread) Assertf(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	t.park(Pending{Op: OpFail, Loc: callerLoc(1), FailKind: FailAssert, FailMsg: fmt.Sprintf(format, args...)})
+}
+
+// FailMemory reports a simulated memory-safety violation (use-after-free,
+// null dereference, double free) — the crash oracle for the ConVul-style
+// programs.
+func (t *Thread) FailMemory(msg string) {
+	t.park(Pending{Op: OpFail, Loc: callerLoc(1), FailKind: FailMemory, FailMsg: msg})
+}
+
+// Fail reports an explicit crash with the given kind.
+func (t *Thread) Fail(kind FailureKind, msg string) {
+	t.park(Pending{Op: OpFail, Loc: callerLoc(1), FailKind: kind, FailMsg: msg})
+}
+
+// --- reader-writer locks --------------------------------------------------------
+
+// NewRWMutex creates a reader-writer lock. Names must be unique per
+// execution.
+func (t *Thread) NewRWMutex(name string) *RWMutex {
+	o := &object{kind: objRWMutex, name: name}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1)})
+	return &RWMutex{obj: o, eng: t.eng}
+}
+
+// RLock acquires the lock in shared mode; enabled while no writer holds
+// it (readers never block each other).
+func (t *Thread) RLock(m *RWMutex) {
+	t.park(Pending{Op: OpRLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// RUnlock releases a shared hold.
+func (t *Thread) RUnlock(m *RWMutex) {
+	t.park(Pending{Op: OpRUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// WLock acquires the lock exclusively; enabled only once every reader and
+// writer has released.
+func (t *Thread) WLock(m *RWMutex) {
+	t.park(Pending{Op: OpWLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// WUnlock releases the exclusive hold.
+func (t *Thread) WUnlock(m *RWMutex) {
+	t.park(Pending{Op: OpWUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// TryLock attempts to acquire the mutex without blocking, reporting
+// whether it succeeded. The attempt is a scheduling point either way.
+func (t *Thread) TryLock(m *Mutex) bool {
+	t.park(Pending{Op: OpTryLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+	return t.retOK
+}
+
+// --- semaphores ------------------------------------------------------------------
+
+// NewSemaphore creates a counting semaphore with the given initial count.
+func (t *Thread) NewSemaphore(name string, initial int64) *Semaphore {
+	o := &object{kind: objSemaphore, name: name, val: initial}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1), Val: initial})
+	return &Semaphore{obj: o, eng: t.eng}
+}
+
+// SemWait decrements the semaphore, blocking while the count is zero
+// (sem_wait).
+func (t *Thread) SemWait(s *Semaphore) {
+	t.park(Pending{Op: OpSemWait, Var: s.obj.id, VarName: s.obj.name, Loc: callerLoc(1)})
+}
+
+// SemPost increments the semaphore, potentially unblocking a waiter
+// (sem_post).
+func (t *Thread) SemPost(s *Semaphore) {
+	t.park(Pending{Op: OpSemPost, Var: s.obj.id, VarName: s.obj.name, Loc: callerLoc(1)})
+}
+
+// --- barriers ---------------------------------------------------------------------
+
+// NewBarrier creates a barrier for the given number of parties.
+func (t *Thread) NewBarrier(name string, parties int) *Barrier {
+	o := &object{kind: objBarrier, name: name, val: int64(parties)}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1), Val: int64(parties)})
+	return &Barrier{obj: o, eng: t.eng}
+}
+
+// BarrierWait joins the barrier, blocking until all parties have arrived
+// (pthread_barrier_wait).
+func (t *Thread) BarrierWait(b *Barrier) {
+	t.park(Pending{Op: OpBarrier, Var: b.obj.id, VarName: b.obj.name, Loc: callerLoc(1)})
+}

@@ -1,0 +1,346 @@
+// Package race implements a happens-before data-race detector over
+// recorded traces — the ThreadSanitizer-style dynamic analysis the paper's
+// related work positions alongside controlled concurrency testing. It
+// complements RFF's crash oracle: an execution that does not crash can
+// still witness a pair of conflicting, causally unordered plain accesses,
+// and reporting those pairs surfaces the racy pattern even on benign
+// interleavings.
+//
+// Happens-before is computed with vector clocks over the engine's full
+// synchronization vocabulary: program order, spawn/join, mutex and rwlock
+// release→acquire, condition signal→wakeup, semaphore post→wait, barrier
+// generations, and atomic RMWs (which synchronize like C11 seq_cst
+// operations and never race with each other).
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"rff/internal/exec"
+)
+
+// VC is a vector clock mapping thread IDs to logical times.
+type VC map[exec.ThreadID]int
+
+// clone copies the clock.
+func (v VC) clone() VC {
+	out := make(VC, len(v))
+	for t, c := range v {
+		out[t] = c
+	}
+	return out
+}
+
+// join merges another clock into v (pointwise max).
+func (v VC) join(o VC) {
+	for t, c := range o {
+		if c > v[t] {
+			v[t] = c
+		}
+	}
+}
+
+// leq reports whether v happens-before-or-equals o (pointwise ≤).
+func (v VC) leq(o VC) bool {
+	for t, c := range v {
+		if c > o[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Race is one detected data race: two conflicting accesses to the same
+// variable, at least one of them a plain (non-atomic) write or read
+// paired with a write, unordered by happens-before. A is the earlier
+// event in the trace.
+type Race struct {
+	Var  string
+	A, B exec.Event
+}
+
+// String renders the race for reports.
+func (r Race) String() string {
+	return fmt.Sprintf("race on %s: %s || %s", r.Var, r.A, r.B)
+}
+
+// AbstractKey identifies the race by its unordered abstract access pair,
+// for deduplication across executions.
+func (r Race) AbstractKey() string {
+	a, b := r.A.Abstract().String(), r.B.Abstract().String()
+	if b < a {
+		a, b = b, a
+	}
+	return a + " || " + b
+}
+
+// access is one recorded memory access with its clock.
+type access struct {
+	ev     exec.Event
+	vc     VC
+	atomic bool
+}
+
+// detector carries the per-trace analysis state.
+type detector struct {
+	threads map[exec.ThreadID]VC
+	// objAccum accumulates release clocks per sync object, so an
+	// exclusive acquirer that reads-from the last of several reader
+	// releases still happens-after all of them.
+	objAccum map[exec.VarID]VC
+	// releaseVC maps release-event IDs to their (accumulated) clocks;
+	// acquires join the clock of the exact event their reads-from edge
+	// names.
+	releaseVC map[int]VC
+	condVC    map[exec.VarID]VC // signal clocks of condition variables
+	atomicVC  map[exec.VarID]VC // release chains through atomic vars
+	lastWait  map[exec.ThreadID]exec.VarID
+
+	reads  map[exec.VarID][]access
+	writes map[exec.VarID][]access
+	races  []Race
+}
+
+func newDetector() *detector {
+	return &detector{
+		threads:   make(map[exec.ThreadID]VC),
+		objAccum:  make(map[exec.VarID]VC),
+		releaseVC: make(map[int]VC),
+		condVC:    make(map[exec.VarID]VC),
+		atomicVC:  make(map[exec.VarID]VC),
+		lastWait:  make(map[exec.ThreadID]exec.VarID),
+		reads:     make(map[exec.VarID][]access),
+		writes:    make(map[exec.VarID][]access),
+	}
+}
+
+// acquireFrom joins the release clock of the event the acquire reads-from
+// (a no-op when the source was not a release, e.g. a reader acquiring
+// after another reader).
+func (d *detector) acquireFrom(th exec.ThreadID, rf int) {
+	if rel, ok := d.releaseVC[rf]; ok {
+		d.clock(th).join(rel)
+	}
+}
+
+// releaseObj publishes the thread's clock on the object (accumulating)
+// and records it under the event ID.
+func (d *detector) releaseObj(th exec.ThreadID, id exec.VarID, eventID int) {
+	if d.objAccum[id] == nil {
+		d.objAccum[id] = VC{}
+	}
+	d.objAccum[id].join(d.clock(th))
+	d.releaseVC[eventID] = d.objAccum[id].clone()
+}
+
+func (d *detector) clock(th exec.ThreadID) VC {
+	vc, ok := d.threads[th]
+	if !ok {
+		vc = VC{th: 0}
+		d.threads[th] = vc
+	}
+	return vc
+}
+
+func (d *detector) tick(th exec.ThreadID) { d.clock(th)[th]++ }
+
+func (d *detector) acquire(th exec.ThreadID, m map[exec.VarID]VC, id exec.VarID) {
+	if rel, ok := m[id]; ok {
+		d.clock(th).join(rel)
+	}
+}
+
+func (d *detector) release(th exec.ThreadID, m map[exec.VarID]VC, id exec.VarID) {
+	m[id] = d.clock(th).clone()
+}
+
+// checkAccess compares the access against conflicting history and records
+// it.
+func (d *detector) checkAccess(e exec.Event, isWrite, atomic bool) {
+	vc := d.clock(e.Thread).clone()
+	cur := access{ev: e, vc: vc, atomic: atomic}
+	report := func(prev access) {
+		if prev.ev.Thread == e.Thread {
+			return
+		}
+		if prev.atomic && atomic {
+			return // atomic-atomic pairs synchronize, they don't race
+		}
+		if !prev.vc.leq(vc) {
+			d.races = append(d.races, Race{Var: e.VarStr, A: prev.ev, B: e})
+		}
+	}
+	if isWrite {
+		for _, prev := range d.reads[e.Var] {
+			report(prev)
+		}
+	}
+	for _, prev := range d.writes[e.Var] {
+		report(prev)
+	}
+	if isWrite {
+		d.writes[e.Var] = append(d.writes[e.Var], cur)
+	} else {
+		d.reads[e.Var] = append(d.reads[e.Var], cur)
+	}
+}
+
+// barrierGen describes one barrier generation; all its events share the
+// instance, and the generation clock is computed once at the first event
+// (when every member is parked and their clocks are final).
+type barrierGen struct {
+	members []exec.ThreadID
+	clock   VC
+}
+
+// scanBarrierGenerations groups barrier events into generations of
+// `parties` consecutive arrivals per barrier (parties is the barrier's
+// init value, recorded in its OpVarInit event).
+func scanBarrierGenerations(t *exec.Trace) map[int]*barrierGen {
+	parties := make(map[exec.VarID]int)
+	type genState struct {
+		ids []int
+		gen *barrierGen
+	}
+	open := make(map[exec.VarID]*genState)
+	out := make(map[int]*barrierGen)
+	for _, e := range t.Events {
+		switch e.Op {
+		case exec.OpVarInit:
+			// Only consulted for vars that turn out to be barriers.
+			parties[e.Var] = int(e.Val)
+		case exec.OpBarrier:
+			g := open[e.Var]
+			if g == nil {
+				g = &genState{gen: &barrierGen{}}
+				open[e.Var] = g
+			}
+			g.ids = append(g.ids, e.ID)
+			g.gen.members = append(g.gen.members, e.Thread)
+			out[e.ID] = g.gen
+			if p := parties[e.Var]; p > 0 && len(g.ids) == p {
+				delete(open, e.Var) // generation complete
+			}
+		}
+	}
+	return out
+}
+
+// Detect runs happens-before race detection over the trace and returns
+// all conflicting unordered plain-access pairs, ordered by trace position.
+func Detect(t *exec.Trace) []Race {
+	d := newDetector()
+	generations := scanBarrierGenerations(t)
+	for _, e := range t.Events {
+		th := e.Thread
+		switch e.Op {
+		case exec.OpSpawn:
+			d.tick(th)
+			d.clock(e.Target).join(d.clock(th))
+		case exec.OpJoin:
+			// The engine enables joins only after the target exits, so
+			// the target's current clock is its final clock.
+			if vc, ok := d.threads[e.Target]; ok {
+				d.clock(th).join(vc)
+			}
+			d.tick(th)
+		case exec.OpLock, exec.OpWLock:
+			d.acquireFrom(th, e.RF)
+			d.tick(th)
+		case exec.OpRLock:
+			// A later reader's acquisition reads-from this one (readers
+			// don't release the word for each other), so republish the
+			// at-acquisition clock — it carries the last writer's
+			// release forward without ordering the readers' critical
+			// sections against each other.
+			d.acquireFrom(th, e.RF)
+			d.releaseVC[e.ID] = d.clock(th).clone()
+			d.tick(th)
+		case exec.OpLockRe:
+			// Wakeup: join both the mutex release this acquisition
+			// reads-from and the signal clock of the condition this
+			// thread was waiting on.
+			d.acquireFrom(th, e.RF)
+			if cond, ok := d.lastWait[th]; ok {
+				d.acquire(th, d.condVC, cond)
+			}
+			d.tick(th)
+		case exec.OpTryLock:
+			if e.Val == 1 {
+				d.acquireFrom(th, e.RF)
+			}
+			d.tick(th)
+		case exec.OpUnlock, exec.OpWUnlock, exec.OpRUnlock:
+			d.tick(th)
+			d.releaseObj(th, e.Var, e.ID)
+		case exec.OpWait:
+			// Releases the bound mutex: the next acquirer of the mutex
+			// reads-from this event, so publishing under the event ID is
+			// exactly right; remember the cond for the wakeup join.
+			d.lastWait[th] = e.Var
+			d.tick(th)
+			d.releaseObj(th, e.Var, e.ID)
+		case exec.OpSignal, exec.OpBroadcast:
+			d.tick(th)
+			d.release(th, d.condVC, e.Var)
+		case exec.OpSemPost:
+			d.tick(th)
+			d.releaseObj(th, e.Var, e.ID)
+		case exec.OpSemWait:
+			d.acquireFrom(th, e.RF)
+			d.tick(th)
+		case exec.OpBarrier:
+			// All-to-all: at the first event of a generation every party
+			// is already parked at the barrier, so their current clocks
+			// are exactly their arrival clocks — join them all into the
+			// generation clock, which each member's event then joins.
+			if gen, ok := generations[e.ID]; ok {
+				if gen.clock == nil {
+					gen.clock = VC{}
+					for _, member := range gen.members {
+						gen.clock.join(d.clock(member))
+					}
+				}
+				d.clock(th).join(gen.clock)
+			}
+			d.tick(th)
+		case exec.OpRead, exec.OpWrite:
+			if e.Atomic {
+				// Atomic RMW halves synchronize through the variable.
+				d.acquire(th, d.atomicVC, e.Var)
+				d.checkAccess(e, e.Op == exec.OpWrite, true)
+				d.tick(th)
+				d.release(th, d.atomicVC, e.Var)
+			} else {
+				d.checkAccess(e, e.Op == exec.OpWrite, false)
+				d.tick(th)
+			}
+		default:
+			d.tick(th)
+		}
+	}
+	sort.Slice(d.races, func(i, j int) bool {
+		if d.races[i].A.ID != d.races[j].A.ID {
+			return d.races[i].A.ID < d.races[j].A.ID
+		}
+		return d.races[i].B.ID < d.races[j].B.ID
+	})
+	return d.races
+}
+
+// DistinctKeys deduplicates races by abstract access pair, sorted — the
+// campaign-level race accounting unit.
+func DistinctKeys(races []Race) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, r := range races {
+		k := r.AbstractKey()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

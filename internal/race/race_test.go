@@ -1,0 +1,274 @@
+package race_test
+
+import (
+	"testing"
+
+	"rff/internal/exec"
+	"rff/internal/race"
+	"rff/internal/sched"
+)
+
+// run executes the program under a fixed scheduler and returns its races.
+func run(t *testing.T, prog exec.Program, s exec.Scheduler, seed int64) []race.Race {
+	t.Helper()
+	res := exec.Run("race-test", prog, exec.Config{Scheduler: s, Seed: seed})
+	if res.Failure != nil && res.Failure.Kind != exec.FailAssert {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	return race.Detect(res.Trace)
+}
+
+// sweep runs many seeds and returns whether any/every execution raced.
+func sweep(t *testing.T, prog exec.Program, n int) (any bool, all bool) {
+	t.Helper()
+	all = true
+	for seed := int64(0); seed < int64(n); seed++ {
+		races := run(t, prog, sched.NewRandom(), seed)
+		if len(races) > 0 {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	return
+}
+
+func TestUnlockedWritesRaceOnEveryInterleaving(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		a := t.Go("a", func(w *exec.Thread) { w.Write(x, 1) })
+		b := t.Go("b", func(w *exec.Thread) { w.Write(x, 2) })
+		t.JoinAll(a, b)
+	}
+	_, all := sweep(t, prog, 50)
+	if !all {
+		t.Fatal("unsynchronized write-write must race under every schedule")
+	}
+}
+
+func TestLockedAccessesNeverRace(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		m := t.NewMutex("m")
+		mk := func(w *exec.Thread) {
+			w.Lock(m)
+			w.Add(x, 1)
+			w.Unlock(m)
+		}
+		a, b := t.Go("a", mk), t.Go("b", mk)
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("lock-protected accesses must never be reported")
+	}
+}
+
+func TestSpawnJoinOrderAccesses(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		t.Write(x, 1) // before spawn: ordered with child
+		c := t.Go("c", func(w *exec.Thread) { w.Write(x, 2) })
+		t.Join(c)
+		t.Write(x, 3) // after join: ordered with child
+	}
+	any, _ := sweep(t, prog, 50)
+	if any {
+		t.Fatal("spawn/join-ordered accesses must never race")
+	}
+}
+
+func TestAtomicsDoNotRace(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		mk := func(w *exec.Thread) { w.AtomicAdd(x, 1) }
+		a, b := t.Go("a", mk), t.Go("b", mk)
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("atomic-atomic access pairs must not be reported")
+	}
+}
+
+func TestMixedAtomicPlainRaces(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		a := t.Go("a", func(w *exec.Thread) { w.AtomicAdd(x, 1) })
+		b := t.Go("b", func(w *exec.Thread) { w.Write(x, 9) })
+		t.JoinAll(a, b)
+	}
+	_, all := sweep(t, prog, 50)
+	if !all {
+		t.Fatal("plain write vs atomic RMW is a data race and must be reported")
+	}
+}
+
+func TestReadReadNeverRaces(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 7)
+		a := t.Go("a", func(w *exec.Thread) { w.Read(x) })
+		b := t.Go("b", func(w *exec.Thread) { w.Read(x) })
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 50)
+	if any {
+		t.Fatal("read-read pairs are not races")
+	}
+}
+
+func TestCondSignalCreatesEdge(t *testing.T) {
+	// Producer writes data before signaling; consumer reads it after the
+	// wakeup: no race, because signal→wakeup is an HB edge.
+	prog := func(t *exec.Thread) {
+		m := t.NewMutex("m")
+		cv := t.NewCond("cv", m)
+		data := t.NewVar("data", 0)
+		ready := t.NewVar("ready", 0)
+		consumer := t.Go("consumer", func(w *exec.Thread) {
+			w.Lock(m)
+			for w.Read(ready) == 0 {
+				w.Wait(cv)
+			}
+			w.Unlock(m)
+			w.Read(data) // safe: producer wrote before the signal
+		})
+		producer := t.Go("producer", func(w *exec.Thread) {
+			w.Write(data, 42)
+			w.Lock(m)
+			w.Write(ready, 1)
+			w.Signal(cv)
+			w.Unlock(m)
+		})
+		t.JoinAll(consumer, producer)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("signal-ordered accesses must never race")
+	}
+}
+
+func TestSemaphoreHandoffCreatesEdge(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		s := t.NewSemaphore("s", 0)
+		data := t.NewVar("data", 0)
+		consumer := t.Go("consumer", func(w *exec.Thread) {
+			w.SemWait(s)
+			w.Read(data)
+		})
+		producer := t.Go("producer", func(w *exec.Thread) {
+			w.Write(data, 1)
+			w.SemPost(s)
+		})
+		t.JoinAll(consumer, producer)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("post→wait ordered accesses must never race")
+	}
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		bar := t.NewBarrier("bar", 2)
+		x := t.NewVar("x", 0)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Write(x, 1)
+			w.BarrierWait(bar)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.BarrierWait(bar)
+			w.Read(x) // strictly after a's write
+		})
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("barrier-separated accesses must never race")
+	}
+}
+
+func TestRWLockReaderWriterEdges(t *testing.T) {
+	// Readers between writer sections: all ordered through the rwlock.
+	prog := func(t *exec.Thread) {
+		rw := t.NewRWMutex("rw")
+		x := t.NewVar("x", 0)
+		wtr := t.Go("writer", func(w *exec.Thread) {
+			w.WLock(rw)
+			w.Write(x, 1)
+			w.WUnlock(rw)
+		})
+		r1 := t.Go("r1", func(w *exec.Thread) {
+			w.RLock(rw)
+			w.Read(x)
+			w.RUnlock(rw)
+		})
+		r2 := t.Go("r2", func(w *exec.Thread) {
+			w.RLock(rw)
+			w.Read(x)
+			w.RUnlock(rw)
+		})
+		t.JoinAll(wtr, r1, r2)
+	}
+	any, _ := sweep(t, prog, 150)
+	if any {
+		t.Fatal("rwlock-protected accesses must never race")
+	}
+}
+
+func TestRaceSurvivesBenignInterleaving(t *testing.T) {
+	// The racy bluetooth pattern: even executions that do NOT crash
+	// must still be reported racy (the detector's whole point).
+	prog := func(t *exec.Thread) {
+		flag := t.NewVar("flag", 0)
+		stopped := t.NewVar("stopped", 0)
+		a := t.Go("worker", func(w *exec.Thread) {
+			if w.Read(flag) == 0 {
+				w.Read(stopped)
+			}
+		})
+		b := t.Go("stopper", func(w *exec.Thread) {
+			w.Write(flag, 1)
+			w.Write(stopped, 1)
+		})
+		t.JoinAll(a, b)
+	}
+	foundRace := false
+	for seed := int64(0); seed < 50 && !foundRace; seed++ {
+		races := run(t, prog, sched.NewRandom(), seed)
+		for _, r := range races {
+			if r.Var == "stopped" || r.Var == "flag" {
+				foundRace = true
+			}
+		}
+	}
+	if !foundRace {
+		t.Fatal("racy pattern never reported across 50 benign runs")
+	}
+}
+
+func TestDistinctKeysDeduplicates(t *testing.T) {
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		mk := func(w *exec.Thread) {
+			for i := 0; i < 3; i++ {
+				w.Write(x, int64(i))
+			}
+		}
+		a, b := t.Go("a", mk), t.Go("b", mk)
+		t.JoinAll(a, b)
+	}
+	res := exec.Run("dedupe", prog, exec.Config{Scheduler: sched.NewRandom(), Seed: 4})
+	races := race.Detect(res.Trace)
+	if len(races) == 0 {
+		t.Skip("interleaving happened to order all writes")
+	}
+	keys := race.DistinctKeys(races)
+	// Both threads write at the same source line: one abstract pair.
+	if len(keys) != 1 {
+		t.Fatalf("want 1 distinct abstract race, got %v", keys)
+	}
+	if len(races) < len(keys) {
+		t.Fatal("dedup grew the set")
+	}
+}

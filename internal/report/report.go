@@ -1,0 +1,256 @@
+// Package report renders the evaluation artifacts as text: the Appendix B
+// style table, the Figure 4 cumulative-bugs curves (ASCII plot + CSV), and
+// the Figure 5 reads-from frequency histogram.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rff/internal/campaign"
+	"rff/internal/exec"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Cell formats one Appendix-B table cell: "mean ± std", with the paper's
+// markers — "*" when some trials missed the bug, "-" when all did.
+func Cell(mean, std float64, missed, trials int) string {
+	if trials == 0 {
+		return "?"
+	}
+	if missed == trials {
+		return "-"
+	}
+	s := fmt.Sprintf("%.0f ± %.0f", mean, std)
+	if missed > 0 {
+		s += "*"
+	}
+	return s
+}
+
+// AppendixB renders the schedules-to-first-bug table for every program and
+// tool in the matrix — the reproduction of the paper's Appendix B.
+func AppendixB(m *campaign.MatrixResult) string {
+	headers := append([]string{"Benchmark/program"}, m.Tools...)
+	var rows [][]string
+	for _, p := range m.Programs {
+		row := []string{p}
+		for _, tool := range m.Tools {
+			mean, std, missed := m.MeanStd(tool, p)
+			row = append(row, Cell(mean, std, missed, len(m.Outcomes[tool][p])))
+		}
+		rows = append(rows, row)
+	}
+	// Summary row: mean bugs found per trial.
+	sum := []string{"bugs found (mean/trial)"}
+	for _, tool := range m.Tools {
+		counts := m.BugsFoundPerTrial(tool)
+		mean := 0.0
+		for _, c := range counts {
+			mean += c
+		}
+		if len(counts) > 0 {
+			mean /= float64(len(counts))
+		}
+		sum = append(sum, fmt.Sprintf("%.1f", mean))
+	}
+	rows = append(rows, sum)
+	return Table(headers, rows)
+}
+
+// Fig4CSV emits the cumulative curves as CSV (tool, schedules, bugs).
+func Fig4CSV(m *campaign.MatrixResult, tools []string) string {
+	var b strings.Builder
+	b.WriteString("tool,schedules,cumulative_bugs\n")
+	for _, tool := range tools {
+		for _, pt := range m.CumulativeCurve(tool) {
+			fmt.Fprintf(&b, "%s,%d,%d\n", tool, pt.Schedules, pt.Bugs)
+		}
+	}
+	return b.String()
+}
+
+// Fig4ASCII draws the cumulative bugs-vs-log(schedules) chart — the
+// reproduction of Figure 4. Each tool gets a marker; higher and further
+// left is better.
+func Fig4ASCII(m *campaign.MatrixResult, tools []string) string {
+	const width, height = 72, 20
+	maxBugs := 0
+	maxSched := 1
+	curves := make(map[string][]campaign.CurvePoint)
+	for _, tool := range tools {
+		c := m.CumulativeCurve(tool)
+		curves[tool] = c
+		for _, pt := range c {
+			if pt.Bugs > maxBugs {
+				maxBugs = pt.Bugs
+			}
+			if pt.Schedules > maxSched {
+				maxSched = pt.Schedules
+			}
+		}
+	}
+	if maxBugs == 0 {
+		return "(no bugs found by any tool)\n"
+	}
+	markers := []byte{'R', 'P', 'p', 'o', 'q', 'g', 'x', '+'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	logMax := math.Log10(float64(maxSched) + 1)
+	for ti, tool := range tools {
+		mark := markers[ti%len(markers)]
+		for _, pt := range curves[tool] {
+			x := int(math.Log10(float64(pt.Schedules)+1) / logMax * float64(width-1))
+			y := height - 1 - int(float64(pt.Bugs-1)/float64(maxBugs)*float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cumulative bugs found vs log(schedules) — max %d bugs\n", maxBugs)
+	for i, row := range grid {
+		label := "      "
+		if i == 0 {
+			label = fmt.Sprintf("%5d ", maxBugs)
+		} else if i == height-1 {
+			label = "    1 "
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "       1%sschedules (log)%s%d\n",
+		strings.Repeat(" ", width/2-9), strings.Repeat(" ", width/2-10), maxSched)
+	b.WriteString("legend: ")
+	for ti, tool := range tools {
+		if ti > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[ti%len(markers)], tool)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Fig5ASCII renders a reads-from combination frequency distribution as a
+// log-scale bar chart (combinations sorted by decreasing frequency), with
+// the evenness summary the paper's RQ3 discussion draws from it.
+func Fig5ASCII(d *campaign.Distribution, maxBars int) string {
+	freq := append([]int(nil), d.Freq...)
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	if maxBars <= 0 {
+		maxBars = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d schedules over %d distinct reads-from combinations (max share %.1f%%)\n",
+		d.Config, d.Schedules, len(freq), d.MaxShare()*100)
+	shown := freq
+	if len(shown) > maxBars {
+		shown = shown[:maxBars]
+	}
+	const barWidth = 60
+	logMax := math.Log10(float64(freq[0]) + 1)
+	for i, f := range shown {
+		n := int(math.Log10(float64(f)+1) / logMax * barWidth)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%4d %6d %s\n", i+1, f, strings.Repeat("#", n))
+	}
+	if len(freq) > len(shown) {
+		fmt.Fprintf(&b, "     ... %d more combinations\n", len(freq)-len(shown))
+	}
+	return b.String()
+}
+
+// Fig5CSV emits a distribution as CSV (rank, frequency).
+func Fig5CSV(d *campaign.Distribution) string {
+	freq := append([]int(nil), d.Freq...)
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s, %d schedules\n", d.Config, d.Schedules)
+	b.WriteString("rank,frequency\n")
+	for i, f := range freq {
+		fmt.Fprintf(&b, "%d,%d\n", i+1, f)
+	}
+	return b.String()
+}
+
+// Timeline renders a trace as a per-thread timeline: one column per
+// thread, one row per event, making handoffs and preemptions visually
+// obvious in replay output.
+func Timeline(t *exec.Trace) string {
+	maxThread := exec.ThreadID(0)
+	for _, e := range t.Events {
+		if e.Thread > maxThread {
+			maxThread = e.Thread
+		}
+	}
+	var b strings.Builder
+	b.WriteString("     ")
+	for th := exec.ThreadID(1); th <= maxThread; th++ {
+		fmt.Fprintf(&b, " %-10s", fmt.Sprintf("t%d", th))
+	}
+	b.WriteByte('\n')
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "%4d ", e.ID)
+		for th := exec.ThreadID(1); th <= maxThread; th++ {
+			if th != e.Thread {
+				b.WriteString(" .         ")
+				continue
+			}
+			cell := e.Op.String()
+			if e.VarStr != "" {
+				cell += "(" + e.VarStr + ")"
+			}
+			if len(cell) > 10 {
+				cell = cell[:10]
+			}
+			fmt.Fprintf(&b, " %-10s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

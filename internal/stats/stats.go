@@ -1,0 +1,211 @@
+// Package stats implements the descriptive and inferential statistics the
+// paper's evaluation relies on: mean/std summaries for the Appendix B
+// table, the Mann-Whitney U test for the RQ1 bugs-found comparison, and
+// the log-rank (Mantel) test for per-program schedules-to-bug comparisons
+// with right-censoring (a trial that never finds the bug is censored at
+// its budget).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// chi2SF1 is the chi-square (1 dof) survival function P(X > x).
+func chi2SF1(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}
+
+// MannWhitneyU performs a two-sided Mann-Whitney U test on independent
+// samples xs and ys, returning the U statistic (for xs) and the normal-
+// approximation p-value with tie correction. The paper uses this test for
+// the statistical significance of RFF's bugs-found advantage (p < 0.001).
+func MannWhitneyU(xs, ys []float64) (u, p float64) {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, x := range xs {
+		all = append(all, obs{x, 0})
+	}
+	for _, y := range ys {
+		all = append(all, obs{y, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie bookkeeping.
+	ranks := make([]float64, len(all))
+	tieCorrection := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1*(n1+1))/2
+
+	n := float64(n1 + n2)
+	mu := float64(n1) * float64(n2) / 2
+	sigma2 := float64(n1) * float64(n2) / 12 * ((n + 1) - tieCorrection/(n*(n-1)))
+	if sigma2 <= 0 {
+		return u, 1
+	}
+	z := math.Abs(u-mu) / math.Sqrt(sigma2)
+	return u, 2 * normalSF(z)
+}
+
+// Sample is one survival observation: a time-to-event (schedules to first
+// bug) and whether the event occurred; Observed=false means the trial was
+// right-censored at Time (budget exhausted without a bug).
+type Sample struct {
+	Time     float64
+	Observed bool
+}
+
+// LogRank performs the two-group log-rank (Mantel) test on survival data,
+// returning the chi-square statistic (1 dof) and p-value. The paper uses
+// it for the per-program "finds the bug in significantly fewer schedules"
+// comparisons (p < 0.05).
+func LogRank(a, b []Sample) (chi2, p float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 1
+	}
+	// Gather distinct event times across both groups.
+	timesSet := make(map[float64]struct{})
+	for _, s := range a {
+		if s.Observed {
+			timesSet[s.Time] = struct{}{}
+		}
+	}
+	for _, s := range b {
+		if s.Observed {
+			timesSet[s.Time] = struct{}{}
+		}
+	}
+	if len(timesSet) == 0 {
+		return 0, 1 // no events anywhere
+	}
+	times := make([]float64, 0, len(timesSet))
+	for t := range timesSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	atRisk := func(group []Sample, t float64) (n, events float64) {
+		for _, s := range group {
+			if s.Time >= t {
+				n++
+			}
+			if s.Observed && s.Time == t {
+				events++
+			}
+		}
+		return
+	}
+
+	var oMinusE, varSum float64
+	for _, t := range times {
+		n1, d1 := atRisk(a, t)
+		n2, d2 := atRisk(b, t)
+		n := n1 + n2
+		d := d1 + d2
+		if n < 2 || d == 0 {
+			continue
+		}
+		e1 := d * n1 / n
+		oMinusE += d1 - e1
+		varSum += d * (n1 / n) * (n2 / n) * (n - d) / (n - 1)
+	}
+	if varSum <= 0 {
+		return 0, 1
+	}
+	chi2 = oMinusE * oMinusE / varSum
+	return chi2, chi2SF1(chi2)
+}
+
+// SignificantlyFewer reports whether group a finds bugs in significantly
+// fewer schedules than group b: a log-rank p below alpha with a's mean
+// observed time smaller (direction check).
+func SignificantlyFewer(a, b []Sample, alpha float64) bool {
+	_, p := LogRank(a, b)
+	if p >= alpha {
+		return false
+	}
+	score := func(g []Sample) float64 {
+		// Censored trials count at their censoring time, which is always
+		// beyond any observed time in the same experiment.
+		var xs []float64
+		for _, s := range g {
+			xs = append(xs, s.Time)
+		}
+		return Mean(xs)
+	}
+	return score(a) < score(b)
+}

@@ -1,0 +1,148 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rff/internal/stats"
+)
+
+func TestDescriptives(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := stats.Mean(xs); m != 5 {
+		t.Fatalf("mean: want 5, got %v", m)
+	}
+	if s := stats.Std(xs); math.Abs(s-2.138) > 0.001 {
+		t.Fatalf("std: want ~2.138, got %v", s)
+	}
+	if md := stats.Median(xs); md != 4.5 {
+		t.Fatalf("median: want 4.5, got %v", md)
+	}
+	if stats.Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if stats.Mean(nil) != 0 || stats.Std(nil) != 0 || stats.Median(nil) != 0 {
+		t.Fatal("empty-input defaults")
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Classic worked example: U for the first sample against the second.
+	x := []float64{7, 3, 6, 2, 4, 3, 5, 5}
+	y := []float64{3, 5, 6, 4, 6, 5, 7, 5}
+	u, p := stats.MannWhitneyU(x, y)
+	// R's wilcox.test(x, y) gives W = 23, p ≈ 0.4 (normal approx with ties).
+	if u != 23 {
+		t.Fatalf("U: want 23, got %v", u)
+	}
+	if p < 0.3 || p > 0.6 {
+		t.Fatalf("p out of plausible range: %v", p)
+	}
+}
+
+func TestMannWhitneySeparatedSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	y := []float64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	_, p := stats.MannWhitneyU(x, y)
+	if p > 0.001 {
+		t.Fatalf("fully separated samples must be significant, p=%v", p)
+	}
+	_, p = stats.MannWhitneyU(x, x)
+	if p < 0.99 {
+		t.Fatalf("identical samples must not be significant, p=%v", p)
+	}
+}
+
+func TestMannWhitneyUSymmetry(t *testing.T) {
+	// Property: U1 + U2 = n1*n2, and p is symmetric.
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1, n2 := 3+r.Intn(10), 3+r.Intn(10)
+		xs := make([]float64, n1)
+		ys := make([]float64, n2)
+		for i := range xs {
+			xs[i] = float64(r.Intn(20))
+		}
+		for i := range ys {
+			ys[i] = float64(r.Intn(20))
+		}
+		u1, p1 := stats.MannWhitneyU(xs, ys)
+		u2, p2 := stats.MannWhitneyU(ys, xs)
+		return math.Abs(u1+u2-float64(n1*n2)) < 1e-9 && math.Abs(p1-p2) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRankIdenticalGroups(t *testing.T) {
+	g := []stats.Sample{{1, true}, {5, true}, {9, true}, {14, true}}
+	chi, p := stats.LogRank(g, g)
+	if chi > 1e-9 || p < 0.99 {
+		t.Fatalf("identical groups: chi=%v p=%v", chi, p)
+	}
+}
+
+func TestLogRankSeparatedGroups(t *testing.T) {
+	fast := make([]stats.Sample, 20)
+	slow := make([]stats.Sample, 20)
+	for i := range fast {
+		fast[i] = stats.Sample{Time: float64(1 + i), Observed: true}
+		slow[i] = stats.Sample{Time: float64(1000 + i), Observed: true}
+	}
+	_, p := stats.LogRank(fast, slow)
+	if p > 0.001 {
+		t.Fatalf("separated survival must be significant, p=%v", p)
+	}
+	if !stats.SignificantlyFewer(fast, slow, 0.05) {
+		t.Fatal("fast group must be significantly fewer")
+	}
+	if stats.SignificantlyFewer(slow, fast, 0.05) {
+		t.Fatal("direction check failed")
+	}
+}
+
+func TestLogRankCensoring(t *testing.T) {
+	// One group always finds the bug, the other never does (censored at
+	// budget): strongly significant.
+	found := make([]stats.Sample, 20)
+	never := make([]stats.Sample, 20)
+	for i := range found {
+		found[i] = stats.Sample{Time: float64(2 + i), Observed: true}
+		never[i] = stats.Sample{Time: 5000, Observed: false}
+	}
+	_, p := stats.LogRank(found, never)
+	if p > 0.001 {
+		t.Fatalf("found-vs-censored must be significant, p=%v", p)
+	}
+	// All-censored on both sides: no events, no verdict.
+	if _, p := stats.LogRank(never, never); p < 0.99 {
+		t.Fatalf("no events anywhere must be non-significant, p=%v", p)
+	}
+}
+
+func TestLogRankSymmetryProperty(t *testing.T) {
+	// Property: chi-square is symmetric in group order.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() []stats.Sample {
+			n := 5 + r.Intn(10)
+			g := make([]stats.Sample, n)
+			for i := range g {
+				g[i] = stats.Sample{Time: float64(1 + r.Intn(30)), Observed: r.Intn(4) != 0}
+			}
+			return g
+		}
+		a, b := mk(), mk()
+		c1, p1 := stats.LogRank(a, b)
+		c2, p2 := stats.LogRank(b, a)
+		return math.Abs(c1-c2) < 1e-9 && math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

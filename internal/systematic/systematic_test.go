@@ -1,0 +1,119 @@
+package systematic_test
+
+import (
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/exec"
+	"rff/internal/systematic"
+)
+
+// tiny: two threads, two interleaving-relevant writes, one reachable bug.
+func tiny(t *exec.Thread) {
+	x := t.NewVar("x", 0)
+	a := t.Go("a", func(w *exec.Thread) { w.Write(x, 1) })
+	b := t.Go("b", func(w *exec.Thread) {
+		if w.Read(x) == 1 {
+			w.Assert(false, "b saw a's write")
+		}
+	})
+	t.JoinAll(a, b)
+}
+
+func TestExploreFindsBugAndCompletes(t *testing.T) {
+	rep := systematic.Explore("tiny", tiny, systematic.ExploreOptions{MaxExecutions: 10000})
+	if rep.FirstBug == 0 {
+		t.Fatal("exhaustive exploration missed a reachable bug")
+	}
+	if !rep.Complete {
+		t.Fatal("tiny program should be fully enumerable")
+	}
+	if rep.Classes < 2 {
+		t.Fatalf("tiny program has at least 2 rf classes, got %d", rep.Classes)
+	}
+	if rep.FirstFailure.Kind != exec.FailAssert {
+		t.Fatalf("unexpected failure %v", rep.FirstFailure)
+	}
+}
+
+func TestExploreCountsRFClassesOnReorder(t *testing.T) {
+	// Section 3's worked example: reorder has few reads-from classes
+	// despite exponentially many interleavings. For a two-setter reorder,
+	// the checker's two reads each observe either the initial write or a
+	// setter write; class count must be far below schedule count.
+	reorder2 := func(t *exec.Thread) {
+		a := t.NewVar("a", 0)
+		b := t.NewVar("b", 0)
+		s1 := t.Go("s1", func(w *exec.Thread) { w.Write(a, 1); w.Write(b, -1) })
+		s2 := t.Go("s2", func(w *exec.Thread) { w.Write(a, 1); w.Write(b, -1) })
+		ck := t.Go("ck", func(w *exec.Thread) {
+			av, bv := w.Read(a), w.Read(b)
+			w.Assert((av == 0 && bv == 0) || (av == 1 && bv == -1), "reorder")
+		})
+		t.JoinAll(s1, s2, ck)
+	}
+	rep := systematic.Explore("reorder_2", reorder2, systematic.ExploreOptions{MaxExecutions: 400000})
+	if !rep.Complete {
+		t.Skipf("enumeration not complete in budget (%d execs)", rep.Executions)
+	}
+	if rep.FirstBug == 0 {
+		t.Fatal("exhaustive enumeration must find the reorder bug")
+	}
+	if rep.Classes >= rep.Executions/10 {
+		t.Errorf("expected far fewer rf classes than schedules: %d classes / %d schedules",
+			rep.Classes, rep.Executions)
+	}
+	t.Logf("reorder_3: %d schedules, %d rf classes, first bug at %d",
+		rep.Executions, rep.Classes, rep.FirstBug)
+}
+
+func TestExploreRespectsBudget(t *testing.T) {
+	p := bench.MustGet("CS/reorder_10")
+	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{MaxExecutions: 50})
+	if rep.Executions > 50 {
+		t.Fatalf("budget exceeded: %d", rep.Executions)
+	}
+	if rep.Complete {
+		t.Fatal("reorder_10 cannot be enumerated in 50 schedules")
+	}
+}
+
+func TestICBFindsShallowBugs(t *testing.T) {
+	for _, name := range []string{"CS/account", "CS/deadlock01", "CS/lazy01"} {
+		p := bench.MustGet(name)
+		rep := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{
+			MaxExecutions: 5000, StopAtFirstBug: true,
+		})
+		if rep.FirstBug == 0 {
+			t.Errorf("%s: ICB missed a shallow bug in %d schedules", name, rep.Executions)
+			continue
+		}
+		t.Logf("%s: ICB bug at %d", name, rep.FirstBug)
+	}
+}
+
+func TestICBReorderLinearInThreads(t *testing.T) {
+	// The reorder bug is one preemption deep; with reverse-spawn-order
+	// targets ICB must find it in O(threads) schedules, mirroring
+	// PERIOD's near-linear column in the paper's table.
+	p := bench.MustGet("CS/reorder_10")
+	rep := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{
+		MaxExecutions: 20000, StopAtFirstBug: true,
+	})
+	if rep.FirstBug == 0 {
+		t.Fatal("ICB missed reorder_10")
+	}
+	if rep.FirstBug > 500 {
+		t.Errorf("ICB needed %d schedules on reorder_10; expected O(threads)", rep.FirstBug)
+	}
+	t.Logf("reorder_10: ICB bug at %d", rep.FirstBug)
+}
+
+func TestICBDeterminism(t *testing.T) {
+	p := bench.MustGet("CS/account")
+	r1 := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{MaxExecutions: 200})
+	r2 := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{MaxExecutions: 200})
+	if r1.FirstBug != r2.FirstBug || r1.Executions != r2.Executions {
+		t.Fatalf("ICB not deterministic: %+v vs %+v", r1, r2)
+	}
+}
