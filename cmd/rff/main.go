@@ -6,6 +6,7 @@
 //	rff list                                   # list benchmark programs
 //	rff run -prog CS/reorder_100 [-tool rff] [-budget 2000] [-seed 1] [-trials 1]
 //	        [-v] [-minimize] [-races] [-out DIR]
+//	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
 //	rff replay -artifact crashes/crash-000.json [-trace]
 //
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"rff/internal/bench"
 	"rff/internal/campaign"
@@ -27,6 +30,7 @@ import (
 	"rff/internal/report"
 	"rff/internal/sched"
 	"rff/internal/systematic"
+	"rff/internal/telemetry"
 )
 
 func main() {
@@ -52,7 +56,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: rff <list|run|explore|replay> [flags]")
 	fmt.Fprintln(os.Stderr, "  rff list")
-	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-v] [-minimize] [-out DIR]")
+	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
 	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
 	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
 }
@@ -64,26 +68,136 @@ func cmdList() {
 	}
 }
 
-func toolByName(name string) (campaign.Tool, bool) {
+// toolByName resolves a tool flag, threading the telemetry sink (which
+// may be nil) into the tools that support per-execution instrumentation.
+func toolByName(name string, tel telemetry.Sink) (campaign.Tool, bool) {
+	schedTool := func(t campaign.SchedulerTool) campaign.Tool {
+		t.Telemetry = tel
+		return t
+	}
 	switch name {
 	case "rff":
-		return campaign.RFFTool{}, true
+		return campaign.RFFTool{Telemetry: tel}, true
 	case "rff-nofb":
-		return campaign.RFFTool{NoFeedback: true}, true
+		return campaign.RFFTool{NoFeedback: true, Telemetry: tel}, true
 	case "pos":
-		return campaign.NewPOSTool(), true
+		return schedTool(campaign.NewPOSTool()), true
 	case "pct3":
-		return campaign.NewPCTTool(3), true
+		return schedTool(campaign.NewPCTTool(3)), true
 	case "random":
-		return campaign.NewRandomTool(), true
+		return schedTool(campaign.NewRandomTool()), true
 	case "qlearn":
-		return campaign.NewQLearnTool(), true
+		return schedTool(campaign.NewQLearnTool()), true
 	case "period":
 		return campaign.PeriodTool{}, true
 	case "genmc":
 		return campaign.GenMCTool{}, true
 	}
 	return nil, false
+}
+
+// resolveProgram finds a benchmark by exact name, falling back to a
+// unique suite-less suffix match so `-prog reorder_10` resolves to
+// "CS/reorder_10".
+func resolveProgram(name string) (bench.Program, bool) {
+	if p, ok := bench.Get(name); ok {
+		return p, true
+	}
+	var matches []bench.Program
+	for _, p := range bench.All() {
+		if strings.HasSuffix(p.Name, "/"+name) {
+			matches = append(matches, p)
+		}
+	}
+	if len(matches) == 1 {
+		return matches[0], true
+	}
+	if len(matches) > 1 {
+		fmt.Fprintf(os.Stderr, "rff: program %q is ambiguous:\n", name)
+		for _, p := range matches {
+			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
+		}
+	}
+	return bench.Program{}, false
+}
+
+// telemetrySession wires the -metrics/-events/-progress flags into a
+// Hub plus a teardown that flushes and persists everything.
+type telemetrySession struct {
+	hub      *telemetry.Hub
+	reporter *telemetry.Reporter
+	events   *os.File
+	metrics  string
+}
+
+// startTelemetry builds the session; a session with no flags set has a
+// nil hub and a no-op close.
+func startTelemetry(metricsPath, eventsPath string, progress time.Duration) (*telemetrySession, error) {
+	s := &telemetrySession{metrics: metricsPath}
+	if metricsPath == "" && eventsPath == "" && progress <= 0 {
+		return s, nil
+	}
+	s.hub = telemetry.NewHub()
+	if metricsPath != "" {
+		// Fail fast on an unwritable path rather than silently losing the
+		// snapshot after the whole campaign has run.
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating metrics file: %w", err)
+		}
+		f.Close()
+	}
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating events file: %w", err)
+		}
+		s.events = f
+		s.hub.Events = telemetry.NewEventWriter(f)
+	}
+	s.reporter = telemetry.StartReporter(progress, func() {
+		fmt.Fprintf(os.Stderr, "progress: %s\n", telemetry.ProgressLine(s.hub.Snapshot()))
+		s.hub.Flush()
+	})
+	return s, nil
+}
+
+// sink returns the session's hub as a Sink, or nil when disabled.
+func (s *telemetrySession) sink() telemetry.Sink {
+	if s.hub == nil {
+		return nil
+	}
+	return s.hub
+}
+
+// close emits the campaign-done event, flushes the event stream, and
+// writes the metrics snapshot.
+func (s *telemetrySession) close() {
+	if s.hub == nil {
+		return
+	}
+	s.reporter.Stop()
+	snap := s.hub.Snapshot()
+	s.hub.Emit(telemetry.EvCampaignDone, telemetry.Fields{
+		"schedules": snap.Total(telemetry.MSchedulesExecuted),
+		"crashes":   snap.Total(telemetry.MSchedulesCrashed),
+	})
+	s.hub.Flush()
+	if s.events != nil {
+		if err := s.hub.Events.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "rff: event stream: %v (%d events dropped)\n", err, s.hub.Events.Dropped())
+		}
+		s.events.Close()
+	}
+	if s.metrics != "" {
+		data, err := snap.MarshalJSONIndent()
+		if err == nil {
+			err = os.WriteFile(s.metrics, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rff: writing metrics snapshot: %v\n", err)
+		}
+	}
 }
 
 func cmdRun(args []string) {
@@ -98,23 +212,38 @@ func cmdRun(args []string) {
 	doMin := fs.Bool("minimize", false, "delta-debug the failing schedule to minimal context switches (rff tool only)")
 	outDir := fs.String("out", "", "directory to write crash artifacts to (rff tool only)")
 	races := fs.Bool("races", false, "run the happens-before race detector over every execution (rff tool only)")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
+	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
+	progress := fs.Duration("progress", 0, "print a progress line at this interval (e.g. 10s; 0 = off)")
 	fs.Parse(args)
 
-	p, ok := bench.Get(*prog)
+	p, ok := resolveProgram(*prog)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rff: unknown program %q (see `rff list`)\n", *prog)
 		os.Exit(1)
 	}
-	tl, ok := toolByName(*tool)
+	ts, err := startTelemetry(*metricsPath, *eventsPath, *progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	defer ts.close()
+	tl, ok := toolByName(*tool, ts.sink())
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rff: unknown tool %q\n", *tool)
 		os.Exit(1)
+	}
+	if s := ts.sink(); s != nil {
+		s.Emit(telemetry.EvCampaignStart, telemetry.Fields{
+			"program": p.Name, "tool": tl.Name(), "budget": *budget, "trials": *trials,
+		})
 	}
 
 	if (*verbose || *doMin || *outDir != "" || *races) && *tool == "rff" {
 		raceKeys := make(map[string]struct{})
 		opts := core.Options{
 			Budget: *budget, Seed: *seed, MaxSteps: *maxSteps, StopAtFirstBug: true,
+			Telemetry: ts.sink(),
 		}
 		if *races {
 			opts.TraceObserver = func(t *exec.Trace) {
@@ -175,6 +304,13 @@ func cmdRun(args []string) {
 	found := 0
 	for tr := 0; tr < *trials; tr++ {
 		out := tl.Run(p, *budget, *maxSteps, *seed+int64(tr)*7919)
+		if s := ts.sink(); s != nil {
+			s.Add(telemetry.MTrialsDone, 1, telemetry.L("tool", tl.Name()), telemetry.L("program", p.Name))
+			s.Emit(telemetry.EvTrialDone, telemetry.Fields{
+				"tool": tl.Name(), "program": p.Name, "trial": tr,
+				"executions": out.Executions, "first_bug": out.FirstBug,
+			})
+		}
 		if out.Found() {
 			found++
 			fmt.Printf("trial %d: %s found the bug after %d schedules\n", tr+1, tl.Name(), out.FirstBug)
@@ -223,7 +359,7 @@ func cmdExplore(args []string) {
 	prog := fs.String("prog", "", "benchmark program name")
 	budget := fs.Int("budget", 100000, "max schedules to enumerate")
 	fs.Parse(args)
-	p, ok := bench.Get(*prog)
+	p, ok := resolveProgram(*prog)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rff: unknown program %q\n", *prog)
 		os.Exit(1)

@@ -8,11 +8,16 @@
 //	rffbench rq4      [-trials 5] [-budget 2000]      # Q-Learning-RF comparison
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
 //
+// Matrix commands also take `-json summary.json` (machine-readable
+// per-cell summary, for tracking benchmark trajectories across PRs) and
+// `-metrics out.json` (telemetry snapshot of the run).
+//
 // Budgets default to laptop-scale settings; raise -trials/-budget toward
 // the paper's 20 trials for tighter statistics (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,7 @@ import (
 	"rff/internal/report"
 	"rff/internal/stats"
 	"rff/internal/systematic"
+	"rff/internal/telemetry"
 )
 
 func main() {
@@ -67,13 +73,15 @@ func usage() {
 
 // matrixFlags holds the common evaluation-matrix flags.
 type matrixFlags struct {
-	trials   int
-	budget   int
-	maxSteps int
-	seed     int64
-	suite    string
-	progs    string
-	quiet    bool
+	trials      int
+	budget      int
+	maxSteps    int
+	seed        int64
+	suite       string
+	progs       string
+	quiet       bool
+	jsonPath    string
+	metricsPath string
 }
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
@@ -85,6 +93,8 @@ func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 	fs.StringVar(&mf.suite, "suite", "", "restrict to one suite (CS, Chess, ConVul, ...)")
 	fs.StringVar(&mf.progs, "progs", "", "comma-separated program list (default: all)")
 	fs.BoolVar(&mf.quiet, "q", false, "suppress progress output")
+	fs.StringVar(&mf.jsonPath, "json", "", "write the experiment summary as machine-readable JSON to this file")
+	fs.StringVar(&mf.metricsPath, "metrics", "", "write a JSON telemetry snapshot to this file")
 	return mf
 }
 
@@ -119,18 +129,130 @@ func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
 			}
 		}
 	}
+	var hub *telemetry.Hub
+	var sink telemetry.Sink
+	if mf.metricsPath != "" {
+		hub = telemetry.NewHub()
+		sink = hub
+		// Thread the sink into the tools that support per-execution
+		// instrumentation so the snapshot carries engine/fuzzer series.
+		for i, tl := range tools {
+			switch t := tl.(type) {
+			case campaign.RFFTool:
+				t.Telemetry = sink
+				tools[i] = t
+			case campaign.SchedulerTool:
+				t.Telemetry = sink
+				tools[i] = t
+			}
+		}
+	}
 	start := time.Now()
 	m := campaign.RunMatrix(tools, mf.programs(), campaign.MatrixOptions{
-		Trials:   mf.trials,
-		Budget:   mf.budget,
-		MaxSteps: mf.maxSteps,
-		BaseSeed: mf.seed,
-		Progress: progress,
+		Trials:    mf.trials,
+		Budget:    mf.budget,
+		MaxSteps:  mf.maxSteps,
+		BaseSeed:  mf.seed,
+		Progress:  progress,
+		Telemetry: sink,
 	})
 	if !mf.quiet {
 		fmt.Fprintf(os.Stderr, "matrix completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if errs := m.TrialErrors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d trials aborted with errors:\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+	}
+	if hub != nil {
+		if err := writeMetrics(mf.metricsPath, hub); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if mf.jsonPath != "" {
+		if err := writeSummaryJSON(mf.jsonPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	return m
+}
+
+// writeMetrics persists a hub's snapshot as indented JSON.
+func writeMetrics(path string, hub *telemetry.Hub) error {
+	data, err := hub.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		return fmt.Errorf("marshaling metrics snapshot: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// cellSummary is one (tool, program) cell of the JSON experiment summary.
+type cellSummary struct {
+	Tool    string `json:"tool"`
+	Program string `json:"program"`
+	Trials  int    `json:"trials"`
+	// Found is how many trials exposed the bug.
+	Found int `json:"found"`
+	// MeanSchedulesToBug/StdSchedulesToBug summarize the bug-finding
+	// trials only (0 when the bug was never found).
+	MeanSchedulesToBug float64 `json:"mean_schedules_to_bug"`
+	StdSchedulesToBug  float64 `json:"std_schedules_to_bug"`
+	// Errors counts trials aborted by infrastructure failures.
+	Errors int `json:"errors,omitempty"`
+}
+
+// matrixSummary is the machine-readable form of an evaluation matrix —
+// the per-PR benchmark trajectory record behind `-json`.
+type matrixSummary struct {
+	Budget   int      `json:"budget"`
+	Trials   int      `json:"trials"`
+	Tools    []string `json:"tools"`
+	Programs []string `json:"programs"`
+	// BugsFoundMean is the mean number of programs each tool found a
+	// bug in, over its trials (the RQ1 headline number).
+	BugsFoundMean map[string]float64 `json:"bugs_found_mean"`
+	Cells         []cellSummary      `json:"cells"`
+}
+
+func writeSummaryJSON(path string, m *campaign.MatrixResult) error {
+	s := matrixSummary{
+		Budget:        m.Budget,
+		Trials:        0,
+		Tools:         m.Tools,
+		Programs:      m.Programs,
+		BugsFoundMean: make(map[string]float64, len(m.Tools)),
+	}
+	for _, tool := range m.Tools {
+		s.BugsFoundMean[tool] = stats.Mean(m.BugsFoundPerTrial(tool))
+		for _, p := range m.Programs {
+			outs := m.Outcomes[tool][p]
+			if len(outs) > s.Trials {
+				s.Trials = len(outs)
+			}
+			cell := cellSummary{Tool: tool, Program: p, Trials: len(outs)}
+			for _, o := range outs {
+				if o.Found() {
+					cell.Found++
+				}
+				if o.Errored() {
+					cell.Errors++
+				}
+			}
+			mean, std, _ := m.MeanStd(tool, p)
+			if cell.Found > 0 {
+				cell.MeanSchedulesToBug, cell.StdSchedulesToBug = mean, std
+			}
+			s.Cells = append(s.Cells, cell)
+		}
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling summary: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func cmdMatrix(args []string, render func(*campaign.MatrixResult)) {

@@ -16,6 +16,7 @@ import (
 	"rff/internal/sched"
 	"rff/internal/stats"
 	"rff/internal/systematic"
+	"rff/internal/telemetry"
 )
 
 // Outcome is the result of one campaign trial.
@@ -27,10 +28,18 @@ type Outcome struct {
 	Executions int
 	// Budget is the schedule budget the trial ran under.
 	Budget int
+	// Err records an infrastructure failure — e.g. a panic recovered
+	// inside the tool — that aborted the trial. Such trials count as
+	// censored no-bug outcomes in the statistics.
+	Err string
 }
 
 // Found reports whether the trial exposed the bug.
 func (o Outcome) Found() bool { return o.FirstBug > 0 }
+
+// Errored reports whether the trial aborted with an infrastructure
+// failure instead of running to its budget.
+func (o Outcome) Errored() bool { return o.Err != "" }
 
 // Sample converts the outcome to a survival observation (censored at the
 // budget when no bug was found).
@@ -67,6 +76,9 @@ type RFFTool struct {
 	// NoFeedback ablates the greybox feedback (the "RFF w/o feedback"
 	// configuration of RQ3).
 	NoFeedback bool
+	// Telemetry, if non-nil, is threaded into every trial's fuzzer (and
+	// through it the execution engine).
+	Telemetry telemetry.Sink
 }
 
 // Name implements Tool.
@@ -88,6 +100,7 @@ func (t RFFTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome 
 		Seed:            seed,
 		DisableFeedback: t.NoFeedback,
 		StopAtFirstBug:  true,
+		Telemetry:       t.Telemetry,
 	}).Run()
 	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
 }
@@ -101,6 +114,8 @@ func (t RFFTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome 
 type SchedulerTool struct {
 	ToolName string
 	Factory  func() exec.Scheduler
+	// Telemetry, if non-nil, is threaded into every execution's engine.
+	Telemetry telemetry.Sink
 }
 
 // Name implements Tool.
@@ -113,13 +128,24 @@ func (t SchedulerTool) Deterministic() bool { return false }
 func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
 	s := t.Factory()
 	out := Outcome{Budget: budget}
+	var labels []telemetry.Label
+	if t.Telemetry != nil {
+		labels = []telemetry.Label{telemetry.L("tool", t.ToolName), telemetry.L("program", p.Name)}
+	}
 	for i := 1; i <= budget; i++ {
 		res := exec.Run(p.Name, p.Body, exec.Config{
 			Scheduler: s,
 			Seed:      subSeed(seed, i),
 			MaxSteps:  maxSteps,
+			Telemetry: t.Telemetry,
 		})
 		out.Executions = i
+		if tel := t.Telemetry; tel != nil {
+			tel.Add(telemetry.MSchedulesExecuted, 1, labels...)
+			if res.Buggy() {
+				tel.Add(telemetry.MSchedulesCrashed, 1, labels...)
+			}
+		}
 		if res.Buggy() {
 			out.FirstBug = i
 			break
@@ -129,12 +155,12 @@ func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Ou
 }
 
 // NewPOSTool returns the Partial Order Sampling baseline.
-func NewPOSTool() Tool {
+func NewPOSTool() SchedulerTool {
 	return SchedulerTool{ToolName: "POS", Factory: func() exec.Scheduler { return sched.NewPOS() }}
 }
 
 // NewPCTTool returns the PCT baseline at the given depth (the paper uses 3).
-func NewPCTTool(depth int) Tool {
+func NewPCTTool(depth int) SchedulerTool {
 	return SchedulerTool{
 		ToolName: fmt.Sprintf("PCT%d", depth),
 		Factory:  func() exec.Scheduler { return sched.NewPCT(depth) },
@@ -142,12 +168,12 @@ func NewPCTTool(depth int) Tool {
 }
 
 // NewRandomTool returns the naive uniform random walk.
-func NewRandomTool() Tool {
+func NewRandomTool() SchedulerTool {
 	return SchedulerTool{ToolName: "Random", Factory: func() exec.Scheduler { return sched.NewRandom() }}
 }
 
 // NewQLearnTool returns the Q-Learning-RF baseline of RQ4.
-func NewQLearnTool() Tool {
+func NewQLearnTool() SchedulerTool {
 	return SchedulerTool{
 		ToolName: "QLearning-RF",
 		Factory:  func() exec.Scheduler { return qlearn.New(qlearn.Config{}) },
@@ -223,6 +249,10 @@ type MatrixOptions struct {
 	Parallelism int
 	// Progress, if non-nil, is called after each completed trial.
 	Progress func(done, total int)
+	// Telemetry, if non-nil, receives matrix-level metrics (completed
+	// trials per tool/program, recovered trial panics) and the campaign
+	// event stream (campaign-start, trial-done, campaign-done).
+	Telemetry telemetry.Sink
 }
 
 // MatrixResult holds every trial outcome, indexed by tool then program.
@@ -277,6 +307,16 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 		res.Programs = append(res.Programs, p.Name)
 	}
 
+	if t := opts.Telemetry; t != nil {
+		t.Emit(telemetry.EvCampaignStart, telemetry.Fields{
+			"tools":    res.Tools,
+			"programs": len(res.Programs),
+			"trials":   opts.Trials,
+			"budget":   opts.Budget,
+			"jobs":     len(jobs),
+		})
+	}
+
 	var (
 		wg   sync.WaitGroup
 		sem  = make(chan struct{}, opts.Parallelism)
@@ -294,7 +334,23 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 			if j.tool.Deterministic() {
 				budget *= opts.Trials
 			}
-			out := j.tool.Run(j.program, budget, opts.MaxSteps, seed)
+			out := runTrial(j.tool, j.program, budget, opts.MaxSteps, seed)
+			if t := opts.Telemetry; t != nil {
+				labels := []telemetry.Label{{Name: "tool", Value: j.tool.Name()}, {Name: "program", Value: j.program.Name}}
+				t.Add(telemetry.MTrialsDone, 1, labels...)
+				fields := telemetry.Fields{
+					"tool":       j.tool.Name(),
+					"program":    j.program.Name,
+					"trial":      j.trial,
+					"executions": out.Executions,
+					"first_bug":  out.FirstBug,
+				}
+				if out.Errored() {
+					t.Add(telemetry.MTrialPanics, 1, labels...)
+					fields["error"] = out.Err
+				}
+				t.Emit(telemetry.EvTrialDone, fields)
+			}
 			mu.Lock()
 			res.Outcomes[j.tool.Name()][j.program.Name][j.trial] = out
 			done++
@@ -305,7 +361,41 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 		}()
 	}
 	wg.Wait()
+	if t := opts.Telemetry; t != nil {
+		t.Emit(telemetry.EvCampaignDone, telemetry.Fields{
+			"jobs":   len(jobs),
+			"errors": len(res.TrialErrors()),
+		})
+	}
 	return res
+}
+
+// runTrial runs one trial, converting a panicking tool into a failed
+// Outcome so a single broken (tool, program) cell cannot take down the
+// whole evaluation matrix.
+func runTrial(tl Tool, p bench.Program, budget, maxSteps int, seed int64) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Budget: budget, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	return tl.Run(p, budget, maxSteps, seed)
+}
+
+// TrialErrors lists the trials that aborted with an infrastructure
+// error, as "tool/program[trial]: err" strings in matrix order.
+func (m *MatrixResult) TrialErrors() []string {
+	var out []string
+	for _, tool := range m.Tools {
+		for _, p := range m.Programs {
+			for tr, o := range m.Outcomes[tool][p] {
+				if o.Errored() {
+					out = append(out, fmt.Sprintf("%s/%s[%d]: %s", tool, p, tr, o.Err))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // hashString is a small FNV-1a for seed derivation.

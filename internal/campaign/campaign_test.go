@@ -1,10 +1,15 @@
 package campaign_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"rff/internal/bench"
 	"rff/internal/campaign"
+	"rff/internal/telemetry"
 )
 
 func miniPrograms(t *testing.T, names ...string) []bench.Program {
@@ -133,5 +138,108 @@ func TestOutcomeSampleCensoring(t *testing.T) {
 	}
 	if s := miss.Sample(); s.Observed || s.Time != 100 {
 		t.Fatalf("bad censored sample %+v", s)
+	}
+}
+
+// panicTool blows up on every trial — the infrastructure-failure case the
+// matrix runner must survive.
+type panicTool struct{}
+
+func (panicTool) Name() string        { return "Panicker" }
+func (panicTool) Deterministic() bool { return false }
+func (panicTool) Run(bench.Program, int, int, int64) campaign.Outcome {
+	panic("tool exploded")
+}
+
+func TestMatrixRecoversTrialPanics(t *testing.T) {
+	tools := []campaign.Tool{panicTool{}, campaign.NewPOSTool()}
+	progs := miniPrograms(t, "CS/account")
+	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 2, Budget: 300, BaseSeed: 3})
+
+	// Every panicking trial is recorded as a failed outcome, not a crash.
+	for tr, o := range m.Outcomes["Panicker"]["CS/account"] {
+		if !o.Errored() || o.Found() {
+			t.Fatalf("trial %d should have errored: %+v", tr, o)
+		}
+		if o.Budget != 300 {
+			t.Fatalf("errored trial lost its budget: %+v", o)
+		}
+		// Errored trials count as censored no-bug samples.
+		if s := o.Sample(); s.Observed || s.Time != 300 {
+			t.Fatalf("bad censored sample for errored trial: %+v", s)
+		}
+	}
+	// The healthy tool is unaffected.
+	for _, o := range m.Outcomes["POS"]["CS/account"] {
+		if o.Errored() || !o.Found() {
+			t.Fatalf("POS trial harmed by sibling panics: %+v", o)
+		}
+	}
+	errs := m.TrialErrors()
+	if len(errs) != 2 {
+		t.Fatalf("TrialErrors = %v, want 2 entries", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e, "tool exploded") || !strings.Contains(e, "Panicker/CS/account") {
+			t.Fatalf("unhelpful trial error %q", e)
+		}
+	}
+}
+
+func TestMatrixTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	hub := telemetry.NewHub()
+	hub.Events = telemetry.NewEventWriter(&buf)
+
+	tools := []campaign.Tool{campaign.RFFTool{Telemetry: hub}, panicTool{}}
+	progs := miniPrograms(t, "CS/account", "CS/lazy01")
+	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{
+		Trials: 2, Budget: 200, BaseSeed: 5, Telemetry: hub,
+	})
+	hub.Flush()
+
+	snap := hub.Snapshot()
+	jobs := int64(len(m.Tools) * len(m.Programs) * 2)
+	if got := snap.Total(telemetry.MTrialsDone); got != jobs {
+		t.Fatalf("trials_done = %d, want %d", got, jobs)
+	}
+	if got := snap.Value(telemetry.MTrialsDone,
+		telemetry.L("tool", "RFF"), telemetry.L("program", "CS/account")); got != 2 {
+		t.Fatalf("per-cell trials_done = %d, want 2", got)
+	}
+	if got := snap.Total(telemetry.MTrialPanics); got != 4 {
+		t.Fatalf("trial_panics = %d, want 4", got)
+	}
+	// The RFF trials carried the sink all the way into the fuzzer.
+	if got := snap.Total(telemetry.MSchedulesExecuted); got == 0 {
+		t.Fatal("fuzzer-level schedules_executed never incremented through the matrix")
+	}
+
+	var evs []telemetry.Event
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) < 2 || evs[0].Kind != telemetry.EvCampaignStart || evs[len(evs)-1].Kind != telemetry.EvCampaignDone {
+		t.Fatalf("event stream not bracketed by campaign start/done (%d events)", len(evs))
+	}
+	trialDone, withError := 0, 0
+	for _, ev := range evs {
+		if ev.Kind == telemetry.EvTrialDone {
+			trialDone++
+			if _, ok := ev.Fields["error"]; ok {
+				withError++
+			}
+		}
+	}
+	if int64(trialDone) != jobs {
+		t.Fatalf("trial-done events = %d, want %d", trialDone, jobs)
+	}
+	if withError != 4 {
+		t.Fatalf("trial-done events with error = %d, want 4", withError)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"rff/internal/exec"
+	"rff/internal/telemetry"
 )
 
 // Options configures a fuzzing campaign on one program.
@@ -36,8 +37,16 @@ type Options struct {
 	InitialCorpus []Schedule
 	// TraceObserver, if non-nil, is invoked with every executed trace —
 	// the hook auxiliary analyses (e.g. the happens-before race
-	// detector) use to piggyback on the fuzzing campaign.
+	// detector) use to piggyback on the fuzzing campaign. A panicking
+	// observer is recovered per execution: the campaign and its corpus
+	// continue unharmed.
 	TraceObserver func(t *exec.Trace)
+	// Telemetry, if non-nil, receives the campaign's metrics (schedules
+	// executed, new reads-from pairs/combinations, corpus growth, power-
+	// schedule energy, constraint outcomes) and events (first-bug,
+	// interesting-schedule). A nil sink costs one branch per
+	// instrumentation point.
+	Telemetry telemetry.Sink
 }
 
 // FailureRecord captures one crashing schedule (Algorithm 1's S_fail
@@ -89,6 +98,9 @@ type Fuzzer struct {
 	pool   *EventPool
 	sched  *Proactive
 	rng    *rand.Rand
+
+	tel    telemetry.Sink
+	labels []telemetry.Label // {program: name}, reused across calls
 }
 
 // NewFuzzer builds a campaign for the program with the given options.
@@ -105,6 +117,8 @@ func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
 		pool:   NewEventPool(),
 		sched:  NewProactive(),
 		rng:    rand.New(rand.NewSource(opts.Seed)),
+		tel:    opts.Telemetry,
+		labels: []telemetry.Label{{Name: "program", Value: name}},
 	}
 }
 
@@ -117,6 +131,10 @@ func (f *Fuzzer) Run() *Report {
 		energy := 1
 		if !f.opts.DisableFeedback {
 			energy = f.corpus.Energy(entry, f.fb, f.opts.Power)
+		}
+		if t := f.tel; t != nil {
+			// Bucket 0 counts skipped stages (energy 0).
+			t.Observe(telemetry.MEnergyAssigned, int64(energy), f.labels...)
 		}
 		for i := 0; i < energy && rep.Executions < f.opts.Budget; i++ {
 			if f.fuzzOne(entry, rep) && f.opts.StopAtFirstBug {
@@ -143,10 +161,11 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 		Scheduler: f.sched,
 		Seed:      seed,
 		MaxSteps:  f.opts.MaxSteps,
+		Telemetry: f.opts.Telemetry,
 	})
 	rep.Executions++
 	if f.opts.TraceObserver != nil {
-		f.opts.TraceObserver(res.Trace)
+		f.observeTrace(res.Trace)
 	}
 
 	obs := f.fb.Observe(res.Trace)
@@ -159,6 +178,26 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 	}
 
 	crashed := res.Buggy()
+	if t := f.tel; t != nil {
+		t.Add(telemetry.MSchedulesExecuted, 1, f.labels...)
+		if obs.NewPairs > 0 {
+			t.Add(telemetry.MRFPairsNew, int64(obs.NewPairs), f.labels...)
+		}
+		if obs.NewSig {
+			t.Add(telemetry.MRFCombosNew, 1, f.labels...)
+		}
+		if !f.opts.DisableProactive {
+			if n := f.sched.SatisfiedCount(); n > 0 {
+				t.Add(telemetry.MConstraintSatisfied, int64(n), f.labels...)
+			}
+			if n := f.sched.RejectedCount(); n > 0 {
+				t.Add(telemetry.MConstraintRejected, int64(n), f.labels...)
+			}
+		}
+		if crashed {
+			t.Add(telemetry.MSchedulesCrashed, 1, f.labels...)
+		}
+	}
 	if crashed {
 		rep.Failures = append(rep.Failures, FailureRecord{
 			Schedule:  mut,
@@ -169,16 +208,54 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 		})
 		if rep.FirstBug == 0 {
 			rep.FirstBug = rep.Executions
+			if t := f.tel; t != nil {
+				t.Emit(telemetry.EvFirstBug, telemetry.Fields{
+					"program":   f.name,
+					"execution": rep.Executions,
+					"kind":      res.Failure.Kind.String(),
+					"msg":       res.Failure.Msg,
+				})
+			}
 		}
 	}
 	if !f.opts.DisableFeedback && f.fb.Interesting(obs, crashed) {
-		f.corpus.Add(&Entry{Schedule: mut, Sig: obs.Sig, Perf: obs.NewPairs})
+		if f.corpus.Add(&Entry{Schedule: mut, Sig: obs.Sig, Perf: obs.NewPairs}) {
+			if t := f.tel; t != nil {
+				t.Add(telemetry.MCorpusAdds, 1, f.labels...)
+				t.Set(telemetry.MCorpusSize, int64(f.corpus.Len()), f.labels...)
+				t.Emit(telemetry.EvInteresting, telemetry.Fields{
+					"program":     f.name,
+					"execution":   rep.Executions,
+					"new_pairs":   obs.NewPairs,
+					"new_combo":   obs.NewSig,
+					"crashed":     crashed,
+					"corpus_size": f.corpus.Len(),
+				})
+			}
+		}
 	}
 	return crashed
 }
 
+// observeTrace invokes the user's TraceObserver, containing any panic it
+// raises: a broken auxiliary analysis must not kill the campaign or
+// corrupt the corpus mid-update.
+func (f *Fuzzer) observeTrace(tr *exec.Trace) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t := f.tel; t != nil {
+				t.Add(telemetry.MObserverPanics, 1, f.labels...)
+			}
+		}
+	}()
+	f.opts.TraceObserver(tr)
+}
+
 // finish copies final feedback statistics into the report.
 func (f *Fuzzer) finish(rep *Report) {
+	if t := f.tel; t != nil {
+		t.Set(telemetry.MCorpusSize, int64(f.corpus.Len()), f.labels...)
+	}
 	rep.CorpusSize = f.corpus.Len()
 	rep.UniquePairs = f.fb.UniquePairs()
 	rep.UniqueSigs = f.fb.UniqueSigs()

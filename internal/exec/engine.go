@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 	"strings"
+
+	"rff/internal/telemetry"
 )
 
 // Config parameterizes one execution.
@@ -15,6 +17,10 @@ type Config struct {
 	// MaxSteps bounds the number of recorded events (livelock guard).
 	// Zero means DefaultMaxSteps.
 	MaxSteps int
+	// Telemetry, if non-nil, receives per-execution engine metrics
+	// (executions, steps-per-schedule histogram, truncations). Nil costs
+	// a single branch per execution.
+	Telemetry telemetry.Sink
 }
 
 // DefaultMaxSteps is the per-execution event budget used when
@@ -100,6 +106,13 @@ func Run(name string, p Program, cfg Config) *Result {
 	e.teardown()
 
 	cfg.Scheduler.End(e.trace)
+	if t := cfg.Telemetry; t != nil {
+		t.Add(telemetry.MEngineExecutions, 1)
+		t.Observe(telemetry.MStepsPerSchedule, int64(e.trace.Len()))
+		if e.truncated {
+			t.Add(telemetry.MEngineTruncated, 1)
+		}
+	}
 	return &Result{
 		Program:   name,
 		Seed:      cfg.Seed,

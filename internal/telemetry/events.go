@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one decoded line of a campaign's JSONL event stream.
+type Event struct {
+	// Seq is the 1-based emission sequence number.
+	Seq int64 `json:"seq"`
+	// TS is the wall-clock emission time (RFC 3339, UTC).
+	TS string `json:"ts"`
+	// Kind names the event (see the Ev* constants).
+	Kind string `json:"kind"`
+	// Fields is the event's payload.
+	Fields Fields `json:"fields,omitempty"`
+}
+
+// EventWriter streams events as JSON Lines through an internal buffer.
+// Writes are failure-tolerant: the first underlying write error is
+// recorded and every later event is counted as dropped instead of
+// crashing the campaign. All methods are safe for concurrent use and on
+// a nil receiver.
+type EventWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
+	seq     int64
+	dropped int64
+	now     func() time.Time
+}
+
+// NewEventWriter wraps w in a buffered JSONL event stream. Callers own
+// w's lifecycle; call Flush before closing it.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{bw: bufio.NewWriterSize(w, 32<<10), now: time.Now}
+}
+
+// Emit appends one event line. Events arriving after a write error are
+// silently dropped (see Err and Dropped).
+func (ew *EventWriter) Emit(kind string, fields Fields) {
+	if ew == nil {
+		return
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err != nil {
+		ew.dropped++
+		return
+	}
+	ew.seq++
+	line, err := json.Marshal(Event{
+		Seq:    ew.seq,
+		TS:     ew.now().UTC().Format(time.RFC3339Nano),
+		Kind:   kind,
+		Fields: fields,
+	})
+	if err != nil {
+		// Unmarshalable payload: drop this event but keep the stream open.
+		ew.dropped++
+		ew.seq--
+		return
+	}
+	line = append(line, '\n')
+	if _, err := ew.bw.Write(line); err != nil {
+		ew.err = err
+		ew.dropped++
+	}
+}
+
+// Flush forces buffered lines out to the underlying writer.
+func (ew *EventWriter) Flush() error {
+	if ew == nil {
+		return nil
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err != nil {
+		return ew.err
+	}
+	if err := ew.bw.Flush(); err != nil {
+		ew.err = err
+	}
+	return ew.err
+}
+
+// Err returns the first write error, if any.
+func (ew *EventWriter) Err() error {
+	if ew == nil {
+		return nil
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.err
+}
+
+// Dropped returns how many events were discarded after a failure.
+func (ew *EventWriter) Dropped() int64 {
+	if ew == nil {
+		return 0
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.dropped
+}

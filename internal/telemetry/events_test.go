@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// decodeLines parses every JSONL line of a stream.
+func decodeLines(t *testing.T, data []byte) []Event {
+	t.Helper()
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestEventWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.now = func() time.Time { return time.Unix(1700000000, 0) }
+	ew.Emit(EvCampaignStart, Fields{"program": "p", "budget": 100})
+	ew.Emit(EvFirstBug, Fields{"execution": 7})
+	ew.Emit(EvCampaignDone, nil)
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := decodeLines(t, buf.Bytes())
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	kinds := []string{EvCampaignStart, EvFirstBug, EvCampaignDone}
+	for i, ev := range evs {
+		if ev.Kind != kinds[i] {
+			t.Errorf("event %d kind = %q, want %q", i, ev.Kind, kinds[i])
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.TS == "" {
+			t.Errorf("event %d has no timestamp", i)
+		}
+	}
+	if evs[0].Fields["program"] != "p" {
+		t.Errorf("fields round-trip failed: %+v", evs[0].Fields)
+	}
+}
+
+// failingWriter errors on every write.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestEventWriterFailureTolerant(t *testing.T) {
+	ew := NewEventWriter(failingWriter{})
+	ew.Emit("a", nil)
+	if err := ew.Flush(); err == nil {
+		t.Fatal("expected flush error from failing writer")
+	}
+	// Later events are dropped, never panicking or blocking.
+	ew.Emit("b", nil)
+	ew.Emit("c", nil)
+	if ew.Err() == nil {
+		t.Fatal("Err() should report the first failure")
+	}
+	if ew.Dropped() < 2 {
+		t.Fatalf("Dropped() = %d, want >= 2", ew.Dropped())
+	}
+}
+
+func TestEventWriterUnmarshalablePayload(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.Emit("bad", Fields{"ch": make(chan int)}) // not JSON-marshalable
+	ew.Emit("good", nil)
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeLines(t, buf.Bytes())
+	if len(evs) != 1 || evs[0].Kind != "good" || evs[0].Seq != 1 {
+		t.Fatalf("stream after bad payload = %+v", evs)
+	}
+	if ew.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", ew.Dropped())
+	}
+}
+
+func TestHubEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHub()
+	h.Events = NewEventWriter(&buf)
+	var s Sink = h
+	s.Add(MSchedulesExecuted, 3, L("program", "p"))
+	s.Set(MCorpusSize, 4, L("program", "p"))
+	s.Observe(MStepsPerSchedule, 17)
+	s.Emit(EvTrialDone, Fields{"trial": 0})
+	h.Flush()
+
+	snap := h.Snapshot()
+	if got := snap.Value(MSchedulesExecuted, L("program", "p")); got != 3 {
+		t.Fatalf("schedules = %d, want 3", got)
+	}
+	if got := snap.Value(MCorpusSize, L("program", "p")); got != 4 {
+		t.Fatalf("corpus = %d, want 4", got)
+	}
+	if hd := snap.Histogram(MStepsPerSchedule); hd == nil || hd.Count != 1 || hd.Sum != 17 {
+		t.Fatalf("steps histogram = %+v", hd)
+	}
+	if evs := decodeLines(t, buf.Bytes()); len(evs) != 1 || evs[0].Kind != EvTrialDone {
+		t.Fatalf("events = %+v", evs)
+	}
+	line := ProgressLine(snap)
+	if !strings.Contains(line, "schedules=3") || !strings.Contains(line, "corpus=4") {
+		t.Fatalf("progress line = %q", line)
+	}
+}
+
+func TestReporterTicksAndStops(t *testing.T) {
+	var ticks atomic.Int64
+	r := StartReporter(time.Millisecond, func() { ticks.Add(1) })
+	deadline := time.Now().Add(2 * time.Second)
+	for ticks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if ticks.Load() < 3 {
+		t.Fatalf("reporter ticked %d times, want >= 3", ticks.Load())
+	}
+	n := ticks.Load()
+	time.Sleep(10 * time.Millisecond)
+	if ticks.Load() != n {
+		t.Fatal("reporter kept ticking after Stop")
+	}
+
+	// Degenerate configurations return a nil, safe reporter.
+	StartReporter(0, func() {}).Stop()
+	StartReporter(time.Second, nil).Stop()
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reporter invokes a callback at a fixed interval on a background
+// goroutine — the periodic progress heartbeat of a long campaign.
+type Reporter struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartReporter begins ticking every interval. It returns nil (a valid
+// no-op reporter) when interval is zero or the callback is nil.
+func StartReporter(interval time.Duration, tick func()) *Reporter {
+	if interval <= 0 || tick == nil {
+		return nil
+	}
+	r := &Reporter{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				tick()
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the reporter and waits for any in-flight tick to finish.
+// Safe on a nil receiver and idempotent.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// ProgressLine renders a snapshot's headline counters as one compact
+// human-readable line — the default payload for periodic reporting.
+func ProgressLine(s Snapshot) string {
+	line := fmt.Sprintf("schedules=%d new-pairs=%d combos=%d corpus=%d crashes=%d",
+		s.Total(MSchedulesExecuted), s.Total(MRFPairsNew), s.Total(MRFCombosNew),
+		s.Total(MCorpusSize), s.Total(MSchedulesCrashed))
+	if trials := s.Total(MTrialsDone); trials > 0 {
+		line += fmt.Sprintf(" trials=%d", trials)
+	}
+	return line
+}

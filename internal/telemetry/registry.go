@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move up and down (e.g. corpus size).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of log2 buckets: bucket 0 holds values
+// <= 0, bucket i >= 1 holds [2^(i-1), 2^i). bits.Len64 of a positive
+// int64 is at most 63, so 64 buckets cover the full range.
+const histBuckets = 64
+
+// Histogram is a fixed-size log2-bucketed histogram. Observations cost
+// three atomic adds and no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// bucketOf maps a value to its log2 bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketLow returns the inclusive lower bound of bucket i (0 for the
+// catch-all <=0 bucket).
+func bucketLow(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << uint(i-1)
+}
+
+// metricMeta remembers how a registered series was named so snapshots
+// can reconstruct it.
+type metricMeta struct {
+	name   string
+	labels []Label
+}
+
+// Registry is a lock-cheap metrics store: series resolution is a
+// read-locked map hit (write-locked only on first use of a series) and
+// every update after resolution is a plain atomic operation. Callers on
+// hot paths may also resolve a *Counter/*Gauge/*Histogram handle once
+// and update it directly.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	meta     map[string]metricMeta
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		meta:     make(map[string]metricMeta),
+	}
+}
+
+// metricKey builds the canonical series key: the metric name followed
+// by its labels sorted by label name.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(ls))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// rememberLocked records series metadata; callers hold r.mu.
+func (r *Registry) rememberLocked(key, name string, labels []Label) {
+	if _, ok := r.meta[key]; ok {
+		return
+	}
+	r.meta[key] = metricMeta{name: name, labels: append([]Label(nil), labels...)}
+}
+
+// Counter resolves (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	k := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+		r.rememberLocked(k, name, labels)
+	}
+	return c
+}
+
+// Gauge resolves (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	k := metricKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[k]; g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+		r.rememberLocked(k, name, labels)
+	}
+	return g
+}
+
+// Histogram resolves (creating if needed) the histogram name{labels}.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	k := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+		r.rememberLocked(k, name, labels)
+	}
+	return h
+}
+
+// --- snapshots ---------------------------------------------------------------
+
+// BucketCount is one populated histogram bucket: Count observations in
+// [Low, 2*Low) (Low = 0 holds values <= 0).
+type BucketCount struct {
+	Low   int64 `json:"low"`
+	Count int64 `json:"count"`
+}
+
+// HistogramData is a histogram's serialized state; only populated
+// buckets appear, in ascending bound order.
+type HistogramData struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Metric is one series in a snapshot.
+type Metric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"` // "counter", "gauge", "histogram"
+	Value  int64             `json:"value"`
+	Hist   *HistogramData    `json:"histogram,omitempty"`
+
+	key string // canonical series key, for sorting and lookups
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name
+// then canonical label key — marshaling the same state always yields
+// identical bytes (encoding/json also sorts the Labels map keys).
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out = append(out, r.metricLocked(k, "counter", c.Value(), nil))
+	}
+	for k, g := range r.gauges {
+		out = append(out, r.metricLocked(k, "gauge", g.Value(), nil))
+	}
+	for k, h := range r.hists {
+		hd := &HistogramData{Count: h.Count(), Sum: h.Sum()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hd.Buckets = append(hd.Buckets, BucketCount{Low: bucketLow(i), Count: n})
+			}
+		}
+		out = append(out, r.metricLocked(k, "histogram", hd.Count, hd))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].key < out[j].key
+	})
+	return Snapshot{Metrics: out}
+}
+
+// metricLocked builds one snapshot entry; callers hold r.mu.
+func (r *Registry) metricLocked(key, kind string, value int64, hd *HistogramData) Metric {
+	m := Metric{Name: key, Kind: kind, Value: value, Hist: hd, key: key}
+	if meta, ok := r.meta[key]; ok {
+		m.Name = meta.name
+		if len(meta.labels) > 0 {
+			m.Labels = make(map[string]string, len(meta.labels))
+			for _, l := range meta.labels {
+				m.Labels[l.Name] = l.Value
+			}
+		}
+	}
+	return m
+}
+
+// MarshalJSONIndent renders the snapshot as stable, human-diffable JSON.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// find returns the snapshot entry with exactly this series key.
+func (s Snapshot) find(name string, labels []Label) (Metric, bool) {
+	k := metricKey(name, labels)
+	for _, m := range s.Metrics {
+		if m.key == k {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns the value of the counter or gauge with exactly these
+// labels (0 if the series does not exist).
+func (s Snapshot) Value(name string, labels ...Label) int64 {
+	m, ok := s.find(name, labels)
+	if !ok {
+		return 0
+	}
+	return m.Value
+}
+
+// Total sums the values of every series with the given name across all
+// label sets (for histograms this totals observation counts).
+func (s Snapshot) Total(name string) int64 {
+	var t int64
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			t += m.Value
+		}
+	}
+	return t
+}
+
+// Histogram returns the serialized histogram with exactly these labels
+// (nil if the series does not exist).
+func (s Snapshot) Histogram(name string, labels ...Label) *HistogramData {
+	m, ok := s.find(name, labels)
+	if !ok {
+		return nil
+	}
+	return m.Hist
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("sched", L("tool", "RFF")).Add(1)
+				r.Gauge("corpus").Set(int64(i))
+				r.Histogram("steps").Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("sched", L("tool", "RFF")).Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("steps")
+	if h.Count() != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	wantSum := int64(workers) * perWorker * (perWorker - 1) / 2
+	if h.Sum() != wantSum {
+		t.Fatalf("hist sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v   int64
+		low int64
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 4}, {7, 4}, {8, 8}, {1023, 512}, {1024, 1024},
+	}
+	for _, c := range cases {
+		if got := bucketLow(bucketOf(c.v)); got != c.low {
+			t.Errorf("bucketLow(bucketOf(%d)) = %d, want %d", c.v, got, c.low)
+		}
+	}
+}
+
+// buildRegistry populates the same logical state touching series in the
+// given order, to prove snapshots are insertion-order independent.
+func buildRegistry(order []int) *Registry {
+	r := NewRegistry()
+	ops := []func(){
+		func() { r.Counter("sched", L("tool", "RFF"), L("program", "p1")).Add(7) },
+		func() { r.Counter("sched", L("program", "p1"), L("tool", "POS")).Add(3) },
+		func() { r.Gauge("corpus", L("program", "p1")).Set(11) },
+		func() { r.Histogram("steps").Observe(5) },
+		func() { r.Counter("pairs").Add(42) },
+	}
+	for _, i := range order {
+		ops[i]()
+	}
+	return r
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a := buildRegistry([]int{0, 1, 2, 3, 4})
+	b := buildRegistry([]int{4, 3, 2, 1, 0})
+	ja, err := a.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("snapshots differ across insertion orders:\n%s\n---\n%s", ja, jb)
+	}
+	// Snapshotting the same registry twice is also byte-identical.
+	ja2, _ := a.Snapshot().MarshalJSONIndent()
+	if !bytes.Equal(ja, ja2) {
+		t.Fatal("re-snapshotting the same registry changed the bytes")
+	}
+	// And the result is valid JSON with sorted metric names.
+	var decoded Snapshot
+	if err := json.Unmarshal(ja, &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	for i := 1; i < len(decoded.Metrics); i++ {
+		if decoded.Metrics[i-1].Name > decoded.Metrics[i].Name {
+			t.Fatalf("metrics unsorted: %q after %q", decoded.Metrics[i].Name, decoded.Metrics[i-1].Name)
+		}
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched", L("tool", "RFF")).Add(5)
+	r.Counter("sched", L("tool", "POS")).Add(2)
+	r.Histogram("steps", L("program", "p")).Observe(100)
+	s := r.Snapshot()
+
+	if got := s.Value("sched", L("tool", "RFF")); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if got := s.Total("sched"); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	h := s.Histogram("steps", L("program", "p"))
+	if h == nil || h.Count != 1 || h.Sum != 100 {
+		t.Fatalf("histogram lookup = %+v", h)
+	}
+	if s.Histogram("steps") != nil {
+		t.Fatal("histogram lookup without labels should miss")
+	}
+	if got := s.Value("missing"); got != 0 {
+		t.Fatalf("missing series value = %d, want 0", got)
+	}
+}
+
+func TestNilHubIsNoop(t *testing.T) {
+	var h *Hub
+	// None of these may panic, including through the Sink interface.
+	var s Sink = h
+	s.Add("x", 1)
+	s.Set("x", 1, L("a", "b"))
+	s.Observe("x", 1)
+	s.Emit("kind", Fields{"k": "v"})
+	h.Flush()
+	if got := h.Snapshot(); len(got.Metrics) != 0 {
+		t.Fatalf("nil hub snapshot has %d metrics", len(got.Metrics))
+	}
+}
