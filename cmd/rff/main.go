@@ -7,6 +7,7 @@
 //	rff run -prog CS/reorder_100 [-tool rff] [-budget 2000] [-seed 1] [-trials 1]
 //	        [-v] [-minimize] [-races] [-out DIR]
 //	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
 //	rff replay -artifact crashes/crash-000.json [-trace]
 //
@@ -26,6 +27,7 @@ import (
 	"rff/internal/core"
 	"rff/internal/exec"
 	"rff/internal/minimize"
+	"rff/internal/perf"
 	"rff/internal/race"
 	"rff/internal/report"
 	"rff/internal/sched"
@@ -215,6 +217,8 @@ func cmdRun(args []string) {
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
 	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
 	progress := fs.Duration("progress", 0, "print a progress line at this interval (e.g. 10s; 0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	fs.Parse(args)
 
 	p, ok := resolveProgram(*prog)
@@ -222,6 +226,17 @@ func cmdRun(args []string) {
 		fmt.Fprintf(os.Stderr, "rff: unknown program %q (see `rff list`)\n", *prog)
 		os.Exit(1)
 	}
+	stopCPU, err := perf.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		stopCPU()
+		if err := perf.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		}
+	}()
 	ts, err := startTelemetry(*metricsPath, *eventsPath, *progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rff: %v\n", err)

@@ -7,10 +7,13 @@
 //	rffbench rq2      [-trials 5] [-budget 2000]      # RFF vs POS ablation + log-rank wins
 //	rffbench rq4      [-trials 5] [-budget 2000]      # Q-Learning-RF comparison
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
+//	rffbench perf     [-budget 2000] [-out BENCH_perf.json]  # hot-path throughput
 //
 // Matrix commands also take `-json summary.json` (machine-readable
 // per-cell summary, for tracking benchmark trajectories across PRs) and
-// `-metrics out.json` (telemetry snapshot of the run).
+// `-metrics out.json` (telemetry snapshot of the run). Every command takes
+// `-cpuprofile FILE` / `-memprofile FILE` to capture pprof profiles of the
+// run.
 //
 // Budgets default to laptop-scale settings; raise -trials/-budget toward
 // the paper's 20 trials for tighter statistics (see EXPERIMENTS.md).
@@ -26,6 +29,7 @@ import (
 
 	"rff/internal/bench"
 	"rff/internal/campaign"
+	"rff/internal/perf"
 	"rff/internal/report"
 	"rff/internal/stats"
 	"rff/internal/systematic"
@@ -61,6 +65,8 @@ func main() {
 		cmdFig5(args)
 	case "classes":
 		cmdClasses(args)
+	case "perf":
+		cmdPerf(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -68,7 +74,37 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|perf> [flags]")
+}
+
+// profileFlags holds the pprof flags every subcommand accepts.
+type profileFlags struct {
+	cpu, mem string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	pf := &profileFlags{}
+	fs.StringVar(&pf.cpu, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&pf.mem, "memprofile", "", "write a pprof heap profile to this file at exit")
+	return pf
+}
+
+// start begins CPU profiling; the returned stop ends it and writes the
+// heap profile. Profile errors are fatal up front — a requested profile
+// that cannot be opened should not surface only after a long run.
+func (pf *profileFlags) start() (stop func()) {
+	stopCPU, err := perf.StartCPUProfile(pf.cpu)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		stopCPU()
+		if err := perf.WriteHeapProfile(pf.mem); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // matrixFlags holds the common evaluation-matrix flags.
@@ -82,10 +118,11 @@ type matrixFlags struct {
 	quiet       bool
 	jsonPath    string
 	metricsPath string
+	prof        *profileFlags
 }
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
-	mf := &matrixFlags{}
+	mf := &matrixFlags{prof: addProfileFlags(fs)}
 	fs.IntVar(&mf.trials, "trials", 5, "trials per (tool, program); the paper uses 20")
 	fs.IntVar(&mf.budget, "budget", 2000, "schedule budget per trial")
 	fs.IntVar(&mf.maxSteps, "maxsteps", 5000, "per-execution step budget")
@@ -147,6 +184,7 @@ func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
 			}
 		}
 	}
+	stopProf := mf.prof.start()
 	start := time.Now()
 	m := campaign.RunMatrix(tools, mf.programs(), campaign.MatrixOptions{
 		Trials:    mf.trials,
@@ -156,6 +194,7 @@ func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
 		Progress:  progress,
 		Telemetry: sink,
 	})
+	stopProf()
 	if !mf.quiet {
 		fmt.Fprintf(os.Stderr, "matrix completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
@@ -363,8 +402,10 @@ func cmdFig5(args []string) {
 	bars := fs.Int("bars", 40, "bars to draw")
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII bars")
 	nofb := fs.Bool("nofeedback", false, "profile RFF without greybox feedback instead of POS (RQ3 ablation)")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	p := bench.MustGet(*prog)
+	defer pf.start()()
 
 	var top *campaign.Distribution
 	if *nofb {
@@ -389,8 +430,10 @@ func cmdClasses(args []string) {
 	fs := flag.NewFlagSet("classes", flag.ExitOnError)
 	prog := fs.String("prog", "Extras/reorder_2", "program to enumerate")
 	budget := fs.Int("budget", 500000, "max schedules")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	p := bench.MustGet(*prog)
+	defer pf.start()()
 	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{MaxExecutions: *budget})
 	fmt.Printf("E8: %s — %d schedules enumerated", p.Name, rep.Executions)
 	if rep.Complete {
@@ -401,6 +444,42 @@ func cmdClasses(args []string) {
 	fmt.Printf(", %d reads-from equivalence classes\n", rep.Classes)
 	if rep.Executions > 0 {
 		fmt.Printf("reduction factor: %.0fx\n", float64(rep.Executions)/float64(max(rep.Classes, 1)))
+	}
+}
+
+// cmdPerf runs the hot-path throughput harness: one full fuzzing campaign
+// per program, reporting execs/sec and allocations per execution, persisted
+// as BENCH_perf.json for cross-PR comparison.
+func cmdPerf(args []string) {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	progs := fs.String("progs", strings.Join(perf.DefaultPrograms, ","),
+		"comma-separated programs to measure")
+	budget := fs.Int("budget", 2000, "schedules per program")
+	maxSteps := fs.Int("maxsteps", 5000, "per-execution step budget")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	out := fs.String("out", "BENCH_perf.json", "output JSON file (empty = stdout only)")
+	pf := addProfileFlags(fs)
+	fs.Parse(args)
+
+	var ps []bench.Program
+	for _, n := range strings.Split(*progs, ",") {
+		ps = append(ps, bench.MustGet(strings.TrimSpace(n)))
+	}
+	stopProf := pf.start()
+	rep := perf.Run(ps, *budget, *maxSteps, *seed)
+	stopProf()
+
+	fmt.Printf("hot-path throughput (%d schedules each, seed %d):\n", *budget, *seed)
+	for _, r := range rep.Programs {
+		fmt.Printf("  %-20s %9.0f execs/sec  %7.1f allocs/exec  %9.0f B/exec\n",
+			r.Program, r.ExecsPerSec, r.AllocsPerExec, r.BytesPerExec)
+	}
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 }
 

@@ -1,0 +1,130 @@
+// Golden regression tests for campaign determinism. These pin the exact
+// observable outcomes — first-bug schedule, corpus size, feedback counts,
+// per-combination frequencies, and raw reads-from signatures — of fixed
+// (program, seed) campaigns. They were captured from the implementation
+// before the hot-path interning/memoization overhaul and must never drift:
+// a perf change that shifts any of these numbers changed the fuzzer's
+// semantics, not just its speed.
+//
+// If an *intentional* semantic change (new mutation operator, different
+// power schedule, ...) moves these numbers, re-capture them in the same
+// change and say so in the commit message.
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// goldenCampaign is one pinned fuzzing campaign: 300 schedules, MaxSteps
+// 5000, bugs do not stop the run.
+type goldenCampaign struct {
+	program  string
+	seed     int64
+	firstBug int
+	corpus   int
+	pairs    int
+	sigs     int
+	// freqHead is the first (up to) 8 entries of SigFrequencies in
+	// first-observation order.
+	freqHead []int
+}
+
+var goldenCampaigns = []goldenCampaign{
+	{"CS/reorder_10", 1, 2, 12, 4, 4, []int{200, 59, 28, 13}},
+	{"CS/reorder_10", 42, 4, 12, 4, 4, []int{186, 71, 28, 15}},
+	{"CS/twostage_20", 1, 7, 16, 15, 7, []int{11, 174, 36, 29, 23, 3, 24}},
+	{"CS/twostage_20", 42, 11, 19, 15, 8, []int{168, 63, 24, 13, 18, 7, 3, 4}},
+	{"SafeStack", 1, 0, 17, 33, 31, []int{82, 10, 11, 23, 75, 7, 14, 1}},
+	{"SafeStack", 42, 0, 23, 33, 34, []int{87, 76, 18, 10, 4, 4, 3, 10}},
+	{"CS/account", 1, 2, 32, 6, 4, []int{84, 42, 138, 36}},
+	{"CS/account", 42, 4, 34, 6, 4, []int{111, 75, 56, 58}},
+}
+
+func TestGoldenCampaignOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaigns take a few seconds")
+	}
+	for _, g := range goldenCampaigns {
+		g := g
+		t.Run(g.program, func(t *testing.T) {
+			p := bench.MustGet(g.program)
+			rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+				Budget: 300, MaxSteps: 5000, Seed: g.seed,
+			}).Run()
+			if rep.FirstBug != g.firstBug {
+				t.Errorf("seed %d: FirstBug = %d, want %d", g.seed, rep.FirstBug, g.firstBug)
+			}
+			if rep.CorpusSize != g.corpus {
+				t.Errorf("seed %d: CorpusSize = %d, want %d", g.seed, rep.CorpusSize, g.corpus)
+			}
+			if rep.UniquePairs != g.pairs {
+				t.Errorf("seed %d: UniquePairs = %d, want %d", g.seed, rep.UniquePairs, g.pairs)
+			}
+			if rep.UniqueSigs != g.sigs {
+				t.Errorf("seed %d: UniqueSigs = %d, want %d", g.seed, rep.UniqueSigs, g.sigs)
+			}
+			sum := 0
+			for _, f := range rep.SigFrequencies {
+				sum += f
+			}
+			if sum != rep.Executions {
+				t.Errorf("seed %d: SigFrequencies sum to %d, want %d executions", g.seed, sum, rep.Executions)
+			}
+			head := rep.SigFrequencies
+			if len(head) > 8 {
+				head = head[:8]
+			}
+			if !reflect.DeepEqual(head, g.freqHead) {
+				t.Errorf("seed %d: SigFrequencies head = %v, want %v", g.seed, head, g.freqHead)
+			}
+		})
+	}
+}
+
+// goldenSignatures pins raw reads-from signature values of single POS
+// executions (seed 7, MaxSteps 5000) — the byte-level contract of the
+// signature hash. These values predate the inlined-FNV rewrite; they hold
+// iff the hash stream is bit-identical to the historical
+// hash/fnv-over-strings encoding.
+var goldenSignatures = []struct {
+	program   string
+	sig       uint64
+	pairs     int
+	events    int
+	hashPair0 uint64
+}{
+	{"CS/reorder_10", 0x3694622d21854129, 2, 6, 0xbaeba3539ee7403},
+	{"CS/twostage_20", 0x2e060ab4eb05b805, 10, 17, 0x6d4c53fdac0982b0},
+	{"SafeStack", 0x62cbc18967b52793, 33, 49, 0xf6799eeab41ed0e6},
+}
+
+func TestGoldenSignatureValues(t *testing.T) {
+	for _, g := range goldenSignatures {
+		g := g
+		t.Run(g.program, func(t *testing.T) {
+			p := bench.MustGet(g.program)
+			res := exec.Run(p.Name, p.Body, exec.Config{
+				Scheduler: sched.NewPOS(), Seed: 7, MaxSteps: 5000,
+			})
+			tr := res.Trace
+			if sig := tr.RFSignature(); sig != g.sig {
+				t.Errorf("RFSignature = %#x, want %#x", sig, g.sig)
+			}
+			if n := len(tr.RFPairs()); n != g.pairs {
+				t.Errorf("pairs = %d, want %d", n, g.pairs)
+			}
+			if n := len(tr.AbstractEvents()); n != g.events {
+				t.Errorf("events = %d, want %d", n, g.events)
+			}
+			if h := exec.HashRFPair(tr.RFPairs()[0]); h != g.hashPair0 {
+				t.Errorf("HashRFPair(pairs[0]) = %#x, want %#x", h, g.hashPair0)
+			}
+		})
+	}
+}

@@ -132,12 +132,16 @@ func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Ou
 	if t.Telemetry != nil {
 		labels = []telemetry.Label{telemetry.L("tool", t.ToolName), telemetry.L("program", p.Name)}
 	}
+	// The trial never inspects traces after the crash check, so their
+	// backing arrays recycle straight into the next execution.
+	recycler := exec.NewRecycler()
 	for i := 1; i <= budget; i++ {
 		res := exec.Run(p.Name, p.Body, exec.Config{
 			Scheduler: s,
 			Seed:      subSeed(seed, i),
 			MaxSteps:  maxSteps,
 			Telemetry: t.Telemetry,
+			Recycle:   recycler,
 		})
 		out.Executions = i
 		if tel := t.Telemetry; tel != nil {
@@ -146,7 +150,9 @@ func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Ou
 				tel.Add(telemetry.MSchedulesCrashed, 1, labels...)
 			}
 		}
-		if res.Buggy() {
+		crashed := res.Buggy()
+		recycler.Reclaim(res.Trace)
+		if crashed {
 			out.FirstBug = i
 			break
 		}

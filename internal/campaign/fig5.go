@@ -42,13 +42,20 @@ func (d *Distribution) MaxShare() float64 {
 func RFDistributionPOS(p bench.Program, n int, seed int64, maxSteps int) *Distribution {
 	fb := core.NewFeedback()
 	s := sched.NewPOS()
+	// One intern table and recycler for the whole measurement: feedback
+	// keys stay dense integers and trace arrays are reused run to run.
+	intern := exec.NewInternTable()
+	recycler := exec.NewRecycler()
 	for i := 1; i <= n; i++ {
 		res := exec.Run(p.Name, p.Body, exec.Config{
 			Scheduler: s,
 			Seed:      subSeed(seed, i),
 			MaxSteps:  maxSteps,
+			Intern:    intern,
+			Recycle:   recycler,
 		})
 		fb.Observe(res.Trace)
+		recycler.Reclaim(res.Trace)
 	}
 	return &Distribution{Config: "POS", Freq: fb.SigFrequencies(), Schedules: n}
 }

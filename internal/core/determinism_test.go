@@ -1,0 +1,43 @@
+package core_test
+
+// Campaign-level determinism: two fuzzing campaigns with the same program
+// and seed must produce identical feedback state — the property the
+// interning and buffer-recycling layers must preserve, since corpus
+// decisions, power-schedule energy, and every reported statistic flow from
+// it.
+
+import (
+	"reflect"
+	"testing"
+
+	"rff/internal/core"
+)
+
+func TestCampaignDeterministicWithInterning(t *testing.T) {
+	runOnce := func() *core.Report {
+		return core.NewFuzzer("reorder", reorder(4), core.Options{
+			Budget: 150,
+			Seed:   11,
+		}).Run()
+	}
+	a, b := runOnce(), runOnce()
+
+	if a.FirstBug != b.FirstBug {
+		t.Errorf("FirstBug diverges: %d vs %d", a.FirstBug, b.FirstBug)
+	}
+	if a.CorpusSize != b.CorpusSize {
+		t.Errorf("CorpusSize diverges: %d vs %d", a.CorpusSize, b.CorpusSize)
+	}
+	if a.UniquePairs != b.UniquePairs {
+		t.Errorf("UniquePairs diverges: %d vs %d", a.UniquePairs, b.UniquePairs)
+	}
+	if a.UniqueSigs != b.UniqueSigs {
+		t.Errorf("UniqueSigs diverges: %d vs %d", a.UniqueSigs, b.UniqueSigs)
+	}
+	if !reflect.DeepEqual(a.SigFrequencies, b.SigFrequencies) {
+		t.Errorf("SigFrequencies diverge:\n  a: %v\n  b: %v", a.SigFrequencies, b.SigFrequencies)
+	}
+	if a.UniqueSigs == 0 {
+		t.Error("campaign observed no combinations")
+	}
+}

@@ -8,17 +8,31 @@ import "rff/internal/exec"
 // signature of an execution's ≡rf equivalence class — has been exercised
 // (the f(α) frequency driving the power schedule and the Figure 5
 // distribution).
+//
+// Pairs are keyed by their interned PairID — a single integer — rather
+// than the 6-string RFPair struct, so the per-execution map traffic of
+// Observe hashes 8 bytes instead of re-hashing every Var/Loc string.
 type Feedback struct {
-	pairCount map[exec.RFPair]int
+	// intern is the table the PairID keys resolve through, adopted from
+	// the first observed trace (the campaign's shared table when the
+	// executions run with exec.Config.Intern set).
+	intern    *exec.InternTable
+	pairCount map[exec.PairID]int
 	sigCount  map[uint64]int
 	sigOrder  []uint64 // first-observation order, for deterministic reports
 }
 
+// feedbackSizeHint pre-sizes the feedback maps: campaigns on the
+// evaluation suite typically accumulate tens of pairs and combinations,
+// so one up-front allocation absorbs the growth path entirely.
+const feedbackSizeHint = 128
+
 // NewFeedback returns empty feedback state.
 func NewFeedback() *Feedback {
 	return &Feedback{
-		pairCount: make(map[exec.RFPair]int),
-		sigCount:  make(map[uint64]int),
+		pairCount: make(map[exec.PairID]int, feedbackSizeHint),
+		sigCount:  make(map[uint64]int, feedbackSizeHint),
+		sigOrder:  make([]uint64, 0, feedbackSizeHint),
 	}
 }
 
@@ -34,15 +48,34 @@ type Observation struct {
 }
 
 // Observe folds one trace into the feedback state and reports its novelty.
+// The trace's memoized Summary supplies pairs and signature in one shot,
+// so calling Observe never re-derives them.
 func (f *Feedback) Observe(t *exec.Trace) Observation {
-	var obs Observation
-	for _, p := range t.RFPairs() {
-		if f.pairCount[p] == 0 {
-			obs.NewPairs++
-		}
-		f.pairCount[p]++
+	s := t.Summary()
+	if f.intern == nil {
+		f.intern = s.Table
 	}
-	obs.Sig = t.RFSignature()
+	var obs Observation
+	if s.Table == f.intern {
+		for _, pid := range s.PairIDs {
+			if f.pairCount[pid] == 0 {
+				obs.NewPairs++
+			}
+			f.pairCount[pid]++
+		}
+	} else {
+		// The trace was summarized against a foreign table (an execution
+		// run without the campaign's shared Config.Intern): re-intern its
+		// pairs so the IDs stay comparable. Slow path, correctness only.
+		for _, p := range s.Pairs {
+			pid := exec.MakePairID(f.intern.Intern(p.Write), f.intern.Intern(p.Read))
+			if f.pairCount[pid] == 0 {
+				obs.NewPairs++
+			}
+			f.pairCount[pid]++
+		}
+	}
+	obs.Sig = s.Sig
 	if f.sigCount[obs.Sig] == 0 {
 		obs.NewSig = true
 		f.sigOrder = append(f.sigOrder, obs.Sig)

@@ -39,7 +39,9 @@ type Options struct {
 	// the hook auxiliary analyses (e.g. the happens-before race
 	// detector) use to piggyback on the fuzzing campaign. A panicking
 	// observer is recovered per execution: the campaign and its corpus
-	// continue unharmed.
+	// continue unharmed. The trace's backing arrays are recycled into the
+	// next execution, so observers must finish with the trace before
+	// returning and must not retain it (copy what they keep).
 	TraceObserver func(t *exec.Trace)
 	// Telemetry, if non-nil, receives the campaign's metrics (schedules
 	// executed, new reads-from pairs/combinations, corpus growth, power-
@@ -99,6 +101,14 @@ type Fuzzer struct {
 	sched  *Proactive
 	rng    *rand.Rand
 
+	// intern is the campaign-shared abstract-event table: every
+	// execution's trace summary resolves events to the same dense IDs,
+	// keeping feedback and pool keys comparable as plain integers.
+	intern *exec.InternTable
+	// recycler reuses trace backing arrays and engine size hints across
+	// the campaign's executions (reset-don't-reallocate).
+	recycler *exec.Recycler
+
 	tel    telemetry.Sink
 	labels []telemetry.Label // {program: name}, reused across calls
 }
@@ -109,16 +119,18 @@ func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
 		panic("core.NewFuzzer: Options.Budget must be positive")
 	}
 	return &Fuzzer{
-		name:   name,
-		prog:   prog,
-		opts:   opts,
-		fb:     NewFeedback(),
-		corpus: NewCorpus(opts.InitialCorpus...),
-		pool:   NewEventPool(),
-		sched:  NewProactive(),
-		rng:    rand.New(rand.NewSource(opts.Seed)),
-		tel:    opts.Telemetry,
-		labels: []telemetry.Label{{Name: "program", Value: name}},
+		name:     name,
+		prog:     prog,
+		opts:     opts,
+		fb:       NewFeedback(),
+		corpus:   NewCorpus(opts.InitialCorpus...),
+		pool:     NewEventPool(),
+		sched:    NewProactive(),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		intern:   exec.NewInternTable(),
+		recycler: exec.NewRecycler(),
+		tel:      opts.Telemetry,
+		labels:   []telemetry.Label{{Name: "program", Value: name}},
 	}
 }
 
@@ -162,7 +174,12 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 		Seed:      seed,
 		MaxSteps:  f.opts.MaxSteps,
 		Telemetry: f.opts.Telemetry,
+		Intern:    f.intern,
+		Recycle:   f.recycler,
 	})
+	// The trace's backing arrays return to the recycler once everything
+	// below has observed it.
+	defer f.recycler.Reclaim(res.Trace)
 	rep.Executions++
 	if f.opts.TraceObserver != nil {
 		f.observeTrace(res.Trace)

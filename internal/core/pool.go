@@ -12,8 +12,14 @@ import (
 // draw *potentially conflicting* (write, read) pairs to form reads-from
 // constraints. Events are kept in first-observation order, which is
 // deterministic for a deterministic campaign.
+//
+// Membership is tracked by interned EventID — integer map keys — with the
+// per-variable lists still holding AbstractEvent values for the mutator.
 type EventPool struct {
-	seen   map[exec.AbstractEvent]struct{}
+	// intern is the table the EventID keys resolve through, adopted from
+	// the first added trace.
+	intern *exec.InternTable
+	seen   map[exec.EventID]struct{}
 	reads  map[string][]exec.AbstractEvent // var name -> read abstract events
 	writes map[string][]exec.AbstractEvent // var name -> write abstract events (incl. init)
 	// pairedVars lists variables that have at least one read and one
@@ -25,22 +31,36 @@ type EventPool struct {
 // NewEventPool returns an empty pool.
 func NewEventPool() *EventPool {
 	return &EventPool{
-		seen:     make(map[exec.AbstractEvent]struct{}),
-		reads:    make(map[string][]exec.AbstractEvent),
-		writes:   make(map[string][]exec.AbstractEvent),
-		isPaired: make(map[string]bool),
+		seen:     make(map[exec.EventID]struct{}, 128),
+		reads:    make(map[string][]exec.AbstractEvent, 16),
+		writes:   make(map[string][]exec.AbstractEvent, 16),
+		isPaired: make(map[string]bool, 16),
 	}
 }
 
-// AddTrace folds a trace's abstract events into the pool.
+// AddTrace folds a trace's abstract events into the pool, reusing the
+// trace's memoized Summary (shared with Feedback.Observe) instead of
+// re-deriving the event set.
 func (p *EventPool) AddTrace(t *exec.Trace) {
-	for _, ae := range t.AbstractEvents() {
-		p.add(ae)
+	s := t.Summary()
+	if p.intern == nil {
+		p.intern = s.Table
+	}
+	if s.Table == p.intern {
+		for i, id := range s.EventIDs {
+			p.add(id, s.Events[i])
+		}
+	} else {
+		// Foreign table (trace executed without the campaign's shared
+		// intern table): re-intern for comparable IDs. Slow path.
+		for _, ae := range s.Events {
+			p.add(p.intern.Intern(ae), ae)
+		}
 	}
 }
 
-func (p *EventPool) add(ae exec.AbstractEvent) {
-	if _, dup := p.seen[ae]; dup {
+func (p *EventPool) add(id exec.EventID, ae exec.AbstractEvent) {
+	if _, dup := p.seen[id]; dup {
 		return
 	}
 	// Lock acquisitions are both reads-from sinks and sources (the lock
@@ -51,7 +71,7 @@ func (p *EventPool) add(ae exec.AbstractEvent) {
 	if !sink && !source {
 		return // pure sync markers (signal, spawn, ...) form no constraints
 	}
-	p.seen[ae] = struct{}{}
+	p.seen[id] = struct{}{}
 	if sink {
 		p.reads[ae.Var] = append(p.reads[ae.Var], ae)
 	}

@@ -133,9 +133,11 @@ type Proactive struct {
 	pos      *sched.POS
 	target   Schedule
 	machines []machine
-	// writeAbs maps executed write event IDs to their abstract events so
-	// read events can be resolved to the writer they observed.
-	writeAbs map[int]exec.AbstractEvent
+	// writeAbs resolves executed write event IDs to their abstract events
+	// so reads can be matched to the writer they observed. Trace IDs are
+	// dense and monotonic, so a slice indexed by ID replaces the previous
+	// per-execution map; its backing array is reused across executions.
+	writeAbs []exec.AbstractEvent
 
 	votes    []int
 	restrict []bool
@@ -162,7 +164,7 @@ func (s *Proactive) Begin(seed int64) {
 	for _, c := range cs {
 		s.machines = append(s.machines, machine{c: c})
 	}
-	s.writeAbs = make(map[int]exec.AbstractEvent)
+	s.writeAbs = s.writeAbs[:0]
 }
 
 // Pick implements exec.Scheduler: sum machine votes per enabled event, keep
@@ -200,11 +202,17 @@ func (s *Proactive) Pick(v *exec.View) int {
 // advances constraint machines on reads.
 func (s *Proactive) Executed(ev exec.Event) {
 	if ev.Op.ActsAsWrite() {
+		for len(s.writeAbs) <= int(ev.ID) {
+			s.writeAbs = append(s.writeAbs, exec.AbstractEvent{})
+		}
 		s.writeAbs[ev.ID] = ev.Abstract()
 	}
 	if ev.Op.ReadsFrom() && ev.RF != 0 {
-		writer, ok := s.writeAbs[ev.RF]
-		if !ok {
+		if ev.RF >= len(s.writeAbs) {
+			return
+		}
+		writer := s.writeAbs[ev.RF]
+		if writer.IsZero() {
 			return
 		}
 		readAbs := ev.Abstract()

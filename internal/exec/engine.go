@@ -21,6 +21,17 @@ type Config struct {
 	// (executions, steps-per-schedule histogram, truncations). Nil costs
 	// a single branch per execution.
 	Telemetry telemetry.Sink
+	// Intern, if non-nil, is the campaign-shared abstract-event intern
+	// table: the trace's Summary resolves events and reads-from pairs to
+	// dense IDs through it, so feedback state keyed on those IDs stays
+	// comparable across every execution of the campaign. Nil gives the
+	// trace a private table on first Summary call.
+	Intern *InternTable
+	// Recycle, if non-nil, reuses trace backing arrays across executions
+	// and pre-sizes the engine's thread/object tables from the previous
+	// run (see Recycler). The caller must Reclaim each finished trace to
+	// close the loop.
+	Recycle *Recycler
 }
 
 // DefaultMaxSteps is the per-execution event budget used when
@@ -72,6 +83,12 @@ type Engine struct {
 	notify  chan notice
 	running int // PUT goroutines currently executing (not parked/exited)
 
+	// Per-step scratch, reused across the whole execution: the candidate
+	// list, the scheduler's View, and its Enabled slice are rebuilt in
+	// place every scheduling point instead of allocated fresh.
+	candBuf []*Thread
+	view    View
+
 	failure   *Failure
 	truncated bool
 	abort     bool
@@ -88,11 +105,20 @@ func Run(name string, p Program, cfg Config) *Result {
 		cfg.MaxSteps = DefaultMaxSteps
 	}
 	e := &Engine{
-		cfg:       cfg,
-		name:      name,
-		objByName: make(map[string]*object),
-		trace:     &Trace{},
-		notify:    make(chan notice),
+		cfg:    cfg,
+		name:   name,
+		trace:  &Trace{intern: cfg.Intern},
+		notify: make(chan notice),
+	}
+	if r := cfg.Recycle; r != nil {
+		// Adopt the previous execution's backing arrays and sizes: traces
+		// of one program barely vary, so these capacities fit immediately.
+		e.trace.Events, e.trace.Decisions = r.take()
+		e.threads = make([]*Thread, 0, r.prevThreads)
+		e.objs = make([]*object, 0, r.prevObjs)
+		e.objByName = make(map[string]*object, r.prevObjs)
+	} else {
+		e.objByName = make(map[string]*object)
 	}
 	cfg.Scheduler.Begin(cfg.Seed)
 
@@ -106,6 +132,9 @@ func Run(name string, p Program, cfg Config) *Result {
 	e.teardown()
 
 	cfg.Scheduler.End(e.trace)
+	if r := cfg.Recycle; r != nil {
+		r.record(len(e.threads), len(e.objs), e.trace.Len())
+	}
 	if t := cfg.Telemetry; t != nil {
 		t.Add(telemetry.MEngineExecutions, 1)
 		t.Observe(telemetry.MStepsPerSchedule, int64(e.trace.Len()))
@@ -170,11 +199,14 @@ func (e *Engine) loop() {
 			e.truncated = true
 			return
 		}
-		view := &View{Step: e.trace.Len(), Enabled: make([]Pending, len(cands)), eng: e}
-		for i, th := range cands {
-			view.Enabled[i] = th.pending
+		// Rebuild the scheduler's view in place: the View and its Enabled
+		// slice are only valid for the duration of Pick (see Scheduler).
+		enabled := e.view.Enabled[:0]
+		for _, th := range cands {
+			enabled = append(enabled, th.pending)
 		}
-		idx := e.cfg.Scheduler.Pick(view)
+		e.view = View{Step: e.trace.Len(), Enabled: enabled, eng: e}
+		idx := e.cfg.Scheduler.Pick(&e.view)
 		if idx < 0 || idx >= len(cands) {
 			panic(fmt.Sprintf("exec: scheduler %q returned out-of-range index %d (enabled %d)",
 				e.cfg.Scheduler.Name(), idx, len(cands)))
@@ -196,13 +228,15 @@ func (e *Engine) parkedThreads() []*Thread {
 
 // enabledThreads returns parked threads whose pending event is enabled, in
 // thread-ID order (the deterministic candidate order seen by schedulers).
+// The returned slice is engine-owned scratch, overwritten each step.
 func (e *Engine) enabledThreads() []*Thread {
-	var out []*Thread
+	out := e.candBuf[:0]
 	for _, th := range e.threads {
 		if th.state == tParked && e.enabled(th) {
 			out = append(out, th)
 		}
 	}
+	e.candBuf = out
 	return out
 }
 

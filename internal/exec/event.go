@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -63,6 +62,15 @@ type Trace struct {
 	// (an RMW records two events for one decision), so feeding it to a
 	// replay scheduler reproduces the trace.
 	Decisions []ThreadID
+
+	// intern resolves abstract events to dense IDs in the memoized
+	// summary: the campaign-shared table when the execution ran with
+	// Config.Intern, a lazily created private table otherwise.
+	intern *InternTable
+	// summary memoizes the single-pass feedback digest (pairs, signature,
+	// abstract events) so every consumer shares one derivation.
+	summary       *Summary
+	summaryBuilds int
 }
 
 // Len returns the number of events in the trace.
@@ -71,27 +79,12 @@ func (t *Trace) Len() int { return len(t.Events) }
 // Event returns the event with trace ID id (1-based).
 func (t *Trace) Event(id int) Event { return t.Events[id-1] }
 
-// RFPairs extracts the abstract reads-from pairs of the trace, one per read
+// RFPairs returns the abstract reads-from pairs of the trace, one per read
 // event, deduplicated and sorted deterministically. This is the feedback
 // signal of the fuzzer: an execution is interesting when it exhibits a pair
-// never seen before.
-func (t *Trace) RFPairs() []RFPair {
-	seen := make(map[RFPair]struct{})
-	var pairs []RFPair
-	for _, e := range t.Events {
-		if !e.Op.ReadsFrom() || e.RF == 0 {
-			continue
-		}
-		p := RFPair{Write: t.Event(e.RF).Abstract(), Read: e.Abstract()}
-		if _, dup := seen[p]; dup {
-			continue
-		}
-		seen[p] = struct{}{}
-		pairs = append(pairs, p)
-	}
-	SortRFPairs(pairs)
-	return pairs
-}
+// never seen before. The slice is the memoized Summary's and must not be
+// mutated.
+func (t *Trace) RFPairs() []RFPair { return t.Summary().Pairs }
 
 // SortRFPairs orders pairs deterministically (by read then write).
 func SortRFPairs(pairs []RFPair) {
@@ -118,55 +111,24 @@ func lessAbstract(a, b AbstractEvent) bool {
 // executions have equal signatures; the fuzzer's power schedule counts how
 // often each signature has been observed (the paper's f(alpha)), and the
 // Figure 5 experiment plots the frequency distribution of signatures.
-func (t *Trace) RFSignature() uint64 {
-	h := fnv.New64a()
-	for _, p := range t.RFPairs() {
-		h.Write([]byte(p.Write.Var))
-		h.Write([]byte{byte(p.Write.Op)})
-		h.Write([]byte(p.Write.Loc))
-		h.Write([]byte(p.Read.Var))
-		h.Write([]byte{byte(p.Read.Op)})
-		h.Write([]byte(p.Read.Loc))
-		h.Write([]byte{0})
-	}
-	return h.Sum64()
-}
+func (t *Trace) RFSignature() uint64 { return t.Summary().Sig }
 
 // HashRFPair hashes one reads-from pair; the commutative combination of
 // pair hashes (XOR) is the state abstraction used by the Q-Learning-RF
-// baseline (Section 5.5).
+// baseline (Section 5.5). The hash is inline FNV-1a over the pair's string
+// encoding — allocation-free, and bit-identical to the historical
+// hash/fnv-based implementation.
 func HashRFPair(p RFPair) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(p.Write.Var))
-	h.Write([]byte{byte(p.Write.Op)})
-	h.Write([]byte(p.Write.Loc))
-	h.Write([]byte{1})
-	h.Write([]byte(p.Read.Var))
-	h.Write([]byte{byte(p.Read.Op)})
-	h.Write([]byte(p.Read.Loc))
-	return h.Sum64()
+	h := fnvAbstract(uint64(fnvOffset64), p.Write)
+	h = fnvByte(h, 1)
+	return fnvAbstract(h, p.Read)
 }
 
 // AbstractEvents returns the deduplicated, deterministically ordered
 // abstract events observed by the trace. The fuzzer accumulates these into
-// its event pool E, from which mutation constraints are drawn.
-func (t *Trace) AbstractEvents() []AbstractEvent {
-	seen := make(map[AbstractEvent]struct{})
-	var evs []AbstractEvent
-	for _, e := range t.Events {
-		a := e.Abstract()
-		if a.Var == "" {
-			continue // spawn/yield/etc. carry no shared object
-		}
-		if _, dup := seen[a]; dup {
-			continue
-		}
-		seen[a] = struct{}{}
-		evs = append(evs, a)
-	}
-	sort.Slice(evs, func(i, j int) bool { return lessAbstract(evs[i], evs[j]) })
-	return evs
-}
+// its event pool E, from which mutation constraints are drawn. The slice
+// is the memoized Summary's and must not be mutated.
+func (t *Trace) AbstractEvents() []AbstractEvent { return t.Summary().Events }
 
 // ThreadOrder returns a copy of the scheduling decisions of the run;
 // feeding it to a replay scheduler reproduces the trace exactly.

@@ -1,0 +1,128 @@
+package exec
+
+import "sync"
+
+// EventID is the dense identifier of an interned AbstractEvent. IDs are
+// assigned in first-intern order starting at 0, so a deterministic
+// campaign (fixed program and seed) assigns identical IDs across runs.
+// Feedback state keys on EventIDs (and on PairIDs built from them) instead
+// of multi-string structs, which turns the hot-path map operations of the
+// fuzzing loop into integer hashing.
+type EventID uint32
+
+// PairID packs an abstract reads-from pair into a single comparable word:
+// the interned write event in the high 32 bits, the read in the low 32.
+// Two pairs interned through the same table are equal iff their PairIDs
+// are.
+type PairID uint64
+
+// MakePairID packs (write, read) into a PairID.
+func MakePairID(write, read EventID) PairID {
+	return PairID(write)<<32 | PairID(read)
+}
+
+// WriteID returns the interned write event of the pair.
+func (p PairID) WriteID() EventID { return EventID(p >> 32) }
+
+// ReadID returns the interned read event of the pair.
+func (p PairID) ReadID() EventID { return EventID(p & 0xffffffff) }
+
+// InternTable maps AbstractEvents to dense EventIDs. A campaign shares one
+// table across all of its executions (the fuzzer threads it through
+// exec.Config), so abstract-event identities — and everything keyed on
+// them — survive across executions as plain integers. The table is
+// mutex-guarded: campaigns are single-threaded so the lock is uncontended,
+// but a shared table stays safe if traces are summarized concurrently.
+type InternTable struct {
+	mu     sync.Mutex
+	ids    map[AbstractEvent]EventID
+	events []AbstractEvent
+}
+
+// NewInternTable returns an empty table.
+func NewInternTable() *InternTable {
+	return &InternTable{ids: make(map[AbstractEvent]EventID, 64)}
+}
+
+// Intern returns the dense ID of ae, assigning the next free ID on first
+// sight.
+func (t *InternTable) Intern(ae AbstractEvent) EventID {
+	t.mu.Lock()
+	id, ok := t.ids[ae]
+	if !ok {
+		id = EventID(len(t.events))
+		t.ids[ae] = id
+		t.events = append(t.events, ae)
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// Event returns the AbstractEvent interned under id. It panics on IDs the
+// table never assigned.
+func (t *InternTable) Event(id EventID) AbstractEvent {
+	t.mu.Lock()
+	ae := t.events[id]
+	t.mu.Unlock()
+	return ae
+}
+
+// Pair returns the RFPair packed into pid.
+func (t *InternTable) Pair(pid PairID) RFPair {
+	t.mu.Lock()
+	p := RFPair{Write: t.events[pid.WriteID()], Read: t.events[pid.ReadID()]}
+	t.mu.Unlock()
+	return p
+}
+
+// Len returns the number of distinct events interned so far.
+func (t *InternTable) Len() int {
+	t.mu.Lock()
+	n := len(t.events)
+	t.mu.Unlock()
+	return n
+}
+
+// Events returns a snapshot of the interned events in ID order —
+// events[i] is the event with EventID i. Used by determinism tests and
+// diagnostics.
+func (t *InternTable) Events() []AbstractEvent {
+	t.mu.Lock()
+	out := append([]AbstractEvent(nil), t.events...)
+	t.mu.Unlock()
+	return out
+}
+
+// FNV-1a, inlined over strings so hashing the hot path's abstract events
+// allocates nothing: hash/fnv's Write takes []byte, and converting the
+// Var/Loc strings per call was a measurable share of the observe phase.
+// The constants and byte order match hash/fnv.New64a exactly, keeping
+// every signature bit-identical to the pre-interning implementation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into the running FNV-1a state h.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvByte folds one byte into the running FNV-1a state h.
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+// fnvAbstract folds an abstract event's (Var, Op, Loc) encoding into h —
+// the per-event unit of the signature and pair-hash streams.
+func fnvAbstract(h uint64, ae AbstractEvent) uint64 {
+	h = fnvString(h, ae.Var)
+	h = fnvByte(h, byte(ae.Op))
+	return fnvString(h, ae.Loc)
+}

@@ -1,0 +1,82 @@
+package exec_test
+
+// Black-box determinism tests for the campaign-shared intern table: a
+// fixed program and seed must assign identical dense IDs (and identical
+// signature streams) across independent campaigns, because feedback state
+// keyed on those IDs is compared across runs and golden files.
+
+import (
+	"reflect"
+	"testing"
+
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// racyProg produces a healthy variety of abstract events and interleaving-
+// dependent reads-from pairs.
+func racyProg(t *exec.Thread) {
+	x := t.NewVar("x", 0)
+	y := t.NewVar("y", 0)
+	m := t.NewMutex("m")
+	w := t.Go("w", func(t *exec.Thread) {
+		t.Lock(m)
+		t.Write(x, 1)
+		t.Unlock(m)
+		t.Write(y, 1)
+	})
+	r := t.Go("r", func(t *exec.Thread) {
+		if t.Read(y) == 1 {
+			t.Lock(m)
+			_ = t.Read(x)
+			t.Unlock(m)
+		}
+		t.Write(x, 2)
+	})
+	t.JoinAll(w, r)
+}
+
+// campaign runs n POS executions with deterministic per-run seeds through
+// the given table, returning every execution's signature.
+func campaign(t *testing.T, table *exec.InternTable, n int) []uint64 {
+	t.Helper()
+	s := sched.NewPOS()
+	sigs := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		res := exec.Run("racy", racyProg, exec.Config{
+			Scheduler: s,
+			Seed:      int64(i)*2654435761 + 17,
+			Intern:    table,
+		})
+		if res.Failure != nil {
+			t.Fatalf("run %d failed: %v", i, res.Failure)
+		}
+		sigs = append(sigs, res.Trace.RFSignature())
+	}
+	return sigs
+}
+
+func TestInternTableDeterministicAcrossCampaigns(t *testing.T) {
+	const n = 50
+	ta, tb := exec.NewInternTable(), exec.NewInternTable()
+	sa := campaign(t, ta, n)
+	sb := campaign(t, tb, n)
+
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("per-execution signatures diverge between identical campaigns")
+	}
+	// The tables must have assigned the same IDs to the same events, in
+	// the same first-intern order.
+	ea, eb := ta.Events(), tb.Events()
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("intern tables diverge:\n  a: %v\n  b: %v", ea, eb)
+	}
+	if ta.Len() == 0 {
+		t.Fatal("campaign interned no events")
+	}
+	for i, ae := range ea {
+		if id := tb.Intern(ae); id != exec.EventID(i) {
+			t.Fatalf("event %v has ID %d in table a but %d in table b", ae, i, id)
+		}
+	}
+}

@@ -144,7 +144,9 @@ type Scheduler interface {
 	Begin(seed int64)
 	// Pick returns the index into v.Enabled of the event to execute.
 	// The engine guarantees len(v.Enabled) > 0 and treats out-of-range
-	// returns as a scheduler bug (panic).
+	// returns as a scheduler bug (panic). The View and its Enabled slice
+	// are engine-owned scratch, valid only for the duration of the call;
+	// schedulers must copy anything they keep.
 	Pick(v *View) int
 	// Executed reports the event (or, for RMWs, the read half followed
 	// by a second call with the write half) that just ran.

@@ -1,0 +1,54 @@
+package exec
+
+// Recycler carries reusable buffers and size hints across executions of
+// the same program. Traces of one program have near-identical event and
+// thread counts from run to run, so a campaign that threads a Recycler
+// through exec.Config (and returns each finished trace via Reclaim) runs
+// every execution after the first into pre-sized, already-allocated
+// backing arrays instead of growing them from zero.
+//
+// A Recycler is single-campaign state: use one per fuzzing loop, never
+// share one across concurrently running executions.
+type Recycler struct {
+	events    []Event
+	decisions []ThreadID
+
+	// Size hints recorded at the end of each run; the next run pre-sizes
+	// its thread table, object registry, and trace from them.
+	prevThreads int
+	prevObjs    int
+	prevSteps   int
+}
+
+// NewRecycler returns an empty recycler.
+func NewRecycler() *Recycler { return &Recycler{} }
+
+// take hands the pooled trace arrays to a starting engine (nil slices on
+// first use) and detaches them from the recycler so a missing Reclaim can
+// never alias two traces.
+func (r *Recycler) take() (events []Event, decisions []ThreadID) {
+	events, decisions = r.events[:0:cap(r.events)], r.decisions[:0:cap(r.decisions)]
+	r.events, r.decisions = nil, nil
+	return events, decisions
+}
+
+// record stores the finished engine's sizes as hints for the next run.
+func (r *Recycler) record(threads, objs, steps int) {
+	r.prevThreads, r.prevObjs, r.prevSteps = threads, objs, steps
+}
+
+// Reclaim returns t's backing arrays to the recycler and invalidates the
+// trace: after Reclaim, the trace, its summary, and any slices obtained
+// from them must no longer be used. Call it once every consumer of the
+// execution's result is done — the fuzzer does so at the end of each
+// iteration, after feedback, pool, and TraceObserver have run. A nil
+// trace is a no-op.
+func (r *Recycler) Reclaim(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.events = t.Events[:0:cap(t.Events)]
+	r.decisions = t.Decisions[:0:cap(t.Decisions)]
+	t.Events, t.Decisions = nil, nil
+	t.summary = nil
+}

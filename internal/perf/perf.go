@@ -1,0 +1,111 @@
+// Package perf measures the fuzzer's hot-path throughput — executions per
+// second and allocation cost per execution — on a fixed program set, so
+// optimisation work has a number to move and regressions have a number to
+// trip on. The JSON report (BENCH_perf.json) is the per-PR performance
+// trajectory record, the throughput analogue of `rffbench -json`.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rff/internal/bench"
+	"rff/internal/core"
+)
+
+// ProgramResult is the measured cost of one fuzzing campaign.
+type ProgramResult struct {
+	Program    string `json:"program"`
+	Executions int    `json:"executions"`
+	WallNS     int64  `json:"wall_ns"`
+	// ExecsPerSec is the headline throughput number.
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// AllocsPerExec and BytesPerExec are heap-allocation counts per
+	// schedule, from runtime.MemStats deltas around the campaign (they
+	// include the campaign's own bookkeeping, which is the point: the
+	// whole loop is the hot path).
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	BytesPerExec  float64 `json:"bytes_per_exec"`
+	// FirstBug and UniqueSigs tie the measurement to campaign behaviour:
+	// a perf change that shifts these changed semantics, not just speed.
+	FirstBug   int `json:"first_bug"`
+	UniqueSigs int `json:"unique_sigs"`
+}
+
+// Report is the full perf-harness output.
+type Report struct {
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Timestamp string          `json:"timestamp"`
+	Budget    int             `json:"budget"`
+	MaxSteps  int             `json:"max_steps"`
+	Seed      int64           `json:"seed"`
+	Programs  []ProgramResult `json:"programs"`
+}
+
+// DefaultPrograms is the measurement set: a narrow program, a wide one,
+// and the paper's running real-world example.
+var DefaultPrograms = []string{"CS/reorder_10", "CS/twostage_20", "SafeStack"}
+
+// Measure runs one full fuzzing campaign (bugs do not stop it) and
+// returns its throughput and allocation profile.
+func Measure(p bench.Program, budget, maxSteps int, seed int64) ProgramResult {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+		Budget:   budget,
+		MaxSteps: maxSteps,
+		Seed:     seed,
+	}).Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := rep.Executions
+	res := ProgramResult{
+		Program:    p.Name,
+		Executions: n,
+		WallNS:     wall.Nanoseconds(),
+		FirstBug:   rep.FirstBug,
+		UniqueSigs: rep.UniqueSigs,
+	}
+	if n > 0 {
+		res.ExecsPerSec = float64(n) / wall.Seconds()
+		res.AllocsPerExec = float64(after.Mallocs-before.Mallocs) / float64(n)
+		res.BytesPerExec = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	}
+	return res
+}
+
+// Run measures every program and assembles the report.
+func Run(progs []bench.Program, budget, maxSteps int, seed int64) *Report {
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Budget:    budget,
+		MaxSteps:  maxSteps,
+		Seed:      seed,
+	}
+	for _, p := range progs {
+		rep.Programs = append(rep.Programs, Measure(p, budget, maxSteps, seed))
+	}
+	return rep
+}
+
+// WriteJSON persists the report as indented JSON.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling perf report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

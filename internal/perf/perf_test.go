@@ -1,0 +1,80 @@
+package perf_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/perf"
+)
+
+func TestMeasureAndWriteJSON(t *testing.T) {
+	p := bench.MustGet("CS/reorder_10")
+	rep := perf.Run([]bench.Program{p}, 50, 5000, 1)
+	if len(rep.Programs) != 1 {
+		t.Fatalf("want 1 program result, got %d", len(rep.Programs))
+	}
+	r := rep.Programs[0]
+	if r.Executions != 50 {
+		t.Errorf("Executions = %d, want 50", r.Executions)
+	}
+	if r.ExecsPerSec <= 0 || r.AllocsPerExec <= 0 || r.BytesPerExec <= 0 {
+		t.Errorf("non-positive measurements: %+v", r)
+	}
+	if r.UniqueSigs == 0 {
+		t.Error("campaign observed no combinations")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back perf.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	if back.Budget != 50 || len(back.Programs) != 1 {
+		t.Errorf("roundtrip mismatch: %+v", back)
+	}
+}
+
+func TestProfileHelpersNoOpOnEmptyPath(t *testing.T) {
+	stop, err := perf.StartCPUProfile("")
+	if err != nil {
+		t.Fatalf("empty cpu profile path: %v", err)
+	}
+	stop()
+	if err := perf.WriteHeapProfile(""); err != nil {
+		t.Fatalf("empty mem profile path: %v", err)
+	}
+}
+
+func TestProfileFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := perf.StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf.Measure(bench.MustGet("CS/reorder_10"), 20, 5000, 1)
+	stop()
+	if err := perf.WriteHeapProfile(mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}

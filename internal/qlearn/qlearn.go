@@ -62,8 +62,10 @@ type Scheduler struct {
 	// q maps state-hash -> thread action -> value.
 	q map[uint64]map[exec.ThreadID]float64
 
-	state    uint64 // commutative hash of rf pairs seen so far this run
-	writeAbs map[int]exec.AbstractEvent
+	state uint64 // commutative hash of rf pairs seen so far this run
+	// writeAbs resolves executed write event IDs to abstract events;
+	// trace IDs are dense, so a reused slice beats a per-run map.
+	writeAbs []exec.AbstractEvent
 
 	// prev is the (state, action) awaiting its TD update once the next
 	// state is known.
@@ -89,7 +91,7 @@ func (s *Scheduler) Name() string { return "QLearning-RF" }
 func (s *Scheduler) Begin(seed int64) {
 	s.rng = rand.New(rand.NewSource(seed))
 	s.state = 0
-	s.writeAbs = make(map[int]exec.AbstractEvent)
+	s.writeAbs = s.writeAbs[:0]
 	s.prev.valid = false
 }
 
@@ -164,10 +166,13 @@ func (s *Scheduler) Pick(v *exec.View) int {
 // commutative state hash.
 func (s *Scheduler) Executed(ev exec.Event) {
 	if ev.Op.ActsAsWrite() {
+		for len(s.writeAbs) <= int(ev.ID) {
+			s.writeAbs = append(s.writeAbs, exec.AbstractEvent{})
+		}
 		s.writeAbs[ev.ID] = ev.Abstract()
 	}
-	if ev.Op.ReadsFrom() && ev.RF != 0 {
-		if writer, ok := s.writeAbs[ev.RF]; ok {
+	if ev.Op.ReadsFrom() && ev.RF != 0 && ev.RF < len(s.writeAbs) {
+		if writer := s.writeAbs[ev.RF]; !writer.IsZero() {
 			pair := exec.RFPair{Write: writer, Read: ev.Abstract()}
 			s.state ^= exec.HashRFPair(pair) // XOR: commutative, as required
 		}

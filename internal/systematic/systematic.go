@@ -83,15 +83,23 @@ func Explore(name string, prog exec.Program, opts ExploreOptions) *ExploreReport
 	rep := &ExploreReport{}
 	classes := make(map[uint64]struct{})
 	sched := &forced{}
+	// Signatures of all enumerated traces resolve through one table, and
+	// trace arrays recycle between executions.
+	intern := exec.NewInternTable()
+	recycler := exec.NewRecycler()
 
 	for rep.Executions < opts.MaxExecutions {
 		res := exec.Run(name, prog, exec.Config{
 			Scheduler: sched,
 			MaxSteps:  opts.MaxSteps,
+			Intern:    intern,
+			Recycle:   recycler,
 		})
 		rep.Executions++
 		classes[res.Trace.RFSignature()] = struct{}{}
-		if res.Buggy() && rep.FirstBug == 0 {
+		buggy := res.Buggy()
+		recycler.Reclaim(res.Trace)
+		if buggy && rep.FirstBug == 0 {
 			rep.FirstBug = rep.Executions
 			rep.FirstFailure = res.Failure
 			if opts.StopAtFirstBug {
