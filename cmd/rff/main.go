@@ -5,7 +5,7 @@
 //
 //	rff list                                   # list benchmark programs
 //	rff run -prog CS/reorder_100 [-tool rff] [-budget 2000] [-seed 1] [-trials 1]
-//	        [-v] [-minimize] [-races] [-out DIR]
+//	        [-workers N] [-v] [-minimize] [-races] [-out DIR]
 //	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"rff/internal/campaign"
 	"rff/internal/core"
 	"rff/internal/exec"
+	"rff/internal/fleet"
 	"rff/internal/minimize"
 	"rff/internal/perf"
 	"rff/internal/race"
@@ -58,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: rff <list|run|explore|replay> [flags]")
 	fmt.Fprintln(os.Stderr, "  rff list")
-	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
+	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-workers N] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
 	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
 	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
 }
@@ -214,6 +216,7 @@ func cmdRun(args []string) {
 	doMin := fs.Bool("minimize", false, "delta-debug the failing schedule to minimal context switches (rff tool only)")
 	outDir := fs.String("out", "", "directory to write crash artifacts to (rff tool only)")
 	races := fs.Bool("races", false, "run the happens-before race detector over every execution (rff tool only)")
+	workers := fs.Int("workers", 0, "run trials concurrently on this many fleet workers; per-trial results are identical at any count (0 = GOMAXPROCS)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
 	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
 	progress := fs.Duration("progress", 0, "print a progress line at this interval (e.g. 10s; 0 = off)")
@@ -257,7 +260,10 @@ func cmdRun(args []string) {
 	if (*verbose || *doMin || *outDir != "" || *races) && *tool == "rff" {
 		raceKeys := make(map[string]struct{})
 		opts := core.Options{
-			Budget: *budget, Seed: *seed, MaxSteps: *maxSteps, StopAtFirstBug: true,
+			// Derive the same seed the trial loop gives trial 0, so the
+			// verbose path reproduces trial 1 of a plain run.
+			Budget: *budget, Seed: campaign.TrialSeed(*seed, tl.Name(), p.Name, 0),
+			MaxSteps: *maxSteps, StopAtFirstBug: true,
 			Telemetry: ts.sink(),
 		}
 		if *races {
@@ -316,24 +322,59 @@ func cmdRun(args []string) {
 		return
 	}
 
+	// Trials are independent cells: each draws its seed from the cell
+	// identity (campaign.TrialSeed), so a fleet pool runs them
+	// concurrently with per-trial results identical at any -workers
+	// count (only completion timing differs; output stays in trial
+	// order via the deterministic merge).
+	nTrials := *trials
+	if tl.Deterministic() {
+		nTrials = 1
+	}
+	cells := make([]fleet.Cell[campaign.Outcome], nTrials)
+	for tr := 0; tr < nTrials; tr++ {
+		tr := tr
+		cells[tr] = fleet.Cell[campaign.Outcome]{
+			ID: fmt.Sprintf("%s/%s[%d]", tl.Name(), p.Name, tr),
+			Run: func(_ context.Context, sc *fleet.Scratch) (campaign.Outcome, error) {
+				out := tl.Run(p, *budget, *maxSteps, campaign.TrialSeed(*seed, tl.Name(), p.Name, tr))
+				if s := ts.sink(); s != nil && !out.Errored() {
+					s.Emit(telemetry.EvTrialDone, telemetry.Fields{
+						"tool": tl.Name(), "program": p.Name, "trial": tr,
+						"executions": out.Executions, "first_bug": out.FirstBug,
+						"worker": sc.Worker,
+					})
+				}
+				return out, nil
+			},
+		}
+	}
+	results := fleet.Run(context.Background(), cells, fleet.Options{
+		Workers:   *workers,
+		Telemetry: ts.sink(),
+	})
 	found := 0
-	for tr := 0; tr < *trials; tr++ {
-		out := tl.Run(p, *budget, *maxSteps, *seed+int64(tr)*7919)
+	for tr, r := range results {
+		out := r.Value
 		if s := ts.sink(); s != nil {
 			s.Add(telemetry.MTrialsDone, 1, telemetry.L("tool", tl.Name()), telemetry.L("program", p.Name))
-			s.Emit(telemetry.EvTrialDone, telemetry.Fields{
-				"tool": tl.Name(), "program": p.Name, "trial": tr,
-				"executions": out.Executions, "first_bug": out.FirstBug,
-			})
+		}
+		if r.Err != nil {
+			if s := ts.sink(); s != nil {
+				s.Add(telemetry.MTrialPanics, 1, telemetry.L("tool", tl.Name()), telemetry.L("program", p.Name))
+				s.Emit(telemetry.EvTrialError, telemetry.Fields{
+					"tool": tl.Name(), "program": p.Name, "trial": tr,
+					"error": r.Err.Error(), "stack": r.Stack,
+				})
+			}
+			fmt.Printf("trial %d: %s aborted: %v\n", tr+1, tl.Name(), r.Err)
+			continue
 		}
 		if out.Found() {
 			found++
 			fmt.Printf("trial %d: %s found the bug after %d schedules\n", tr+1, tl.Name(), out.FirstBug)
 		} else {
 			fmt.Printf("trial %d: %s found no bug in %d schedules\n", tr+1, tl.Name(), out.Executions)
-		}
-		if tl.Deterministic() {
-			break
 		}
 	}
 	fmt.Printf("%s on %s: %d/%d trials found the bug\n", tl.Name(), p.Name, found, *trials)

@@ -9,26 +9,31 @@
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
 //	rffbench perf     [-budget 2000] [-out BENCH_perf.json]  # hot-path throughput
 //
-// Matrix commands also take `-json summary.json` (machine-readable
-// per-cell summary, for tracking benchmark trajectories across PRs) and
-// `-metrics out.json` (telemetry snapshot of the run). Every command takes
-// `-cpuprofile FILE` / `-memprofile FILE` to capture pprof profiles of the
-// run.
+// Matrix commands decompose into (tool, program, trial) cells and run on
+// a fleet worker pool: `-workers N` bounds the pool (default GOMAXPROCS)
+// and results are bit-identical at any worker count. They also take
+// `-json summary.json` (machine-readable per-cell summary, for tracking
+// benchmark trajectories across PRs) and `-metrics out.json` (telemetry
+// snapshot of the run). Every command takes `-cpuprofile FILE` /
+// `-memprofile FILE` to capture pprof profiles of the run.
 //
 // Budgets default to laptop-scale settings; raise -trials/-budget toward
 // the paper's 20 trials for tighter statistics (see EXPERIMENTS.md).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"rff/internal/bench"
 	"rff/internal/campaign"
+	"rff/internal/fleet"
 	"rff/internal/perf"
 	"rff/internal/report"
 	"rff/internal/stats"
@@ -113,6 +118,7 @@ type matrixFlags struct {
 	budget      int
 	maxSteps    int
 	seed        int64
+	workers     int
 	suite       string
 	progs       string
 	quiet       bool
@@ -127,6 +133,7 @@ func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 	fs.IntVar(&mf.budget, "budget", 2000, "schedule budget per trial")
 	fs.IntVar(&mf.maxSteps, "maxsteps", 5000, "per-execution step budget")
 	fs.Int64Var(&mf.seed, "seed", 1, "base seed")
+	fs.IntVar(&mf.workers, "workers", 0, "concurrent fleet workers; results are identical at any count (0 = GOMAXPROCS)")
 	fs.StringVar(&mf.suite, "suite", "", "restrict to one suite (CS, Chess, ConVul, ...)")
 	fs.StringVar(&mf.progs, "progs", "", "comma-separated program list (default: all)")
 	fs.BoolVar(&mf.quiet, "q", false, "suppress progress output")
@@ -191,6 +198,7 @@ func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
 		Budget:    mf.budget,
 		MaxSteps:  mf.maxSteps,
 		BaseSeed:  mf.seed,
+		Workers:   mf.workers,
 		Progress:  progress,
 		Telemetry: sink,
 	})
@@ -402,18 +410,34 @@ func cmdFig5(args []string) {
 	bars := fs.Int("bars", 40, "bars to draw")
 	csv := fs.Bool("csv", false, "emit CSV instead of ASCII bars")
 	nofb := fs.Bool("nofeedback", false, "profile RFF without greybox feedback instead of POS (RQ3 ablation)")
+	workers := fs.Int("workers", 0, "profile the two configurations concurrently (0 = GOMAXPROCS)")
 	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	p := bench.MustGet(*prog)
 	defer pf.start()()
 
-	var top *campaign.Distribution
-	if *nofb {
-		top = campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, false)
-	} else {
-		top = campaign.RFDistributionPOS(p, *n, *seed, *maxSteps)
+	// The two configurations are independent fixed-seed profiles — ideal
+	// fleet cells: identical output at any worker count, half the
+	// wall-clock with two cores.
+	cells := []fleet.Cell[*campaign.Distribution]{
+		{ID: "fig5/top", Run: func(context.Context, *fleet.Scratch) (*campaign.Distribution, error) {
+			if *nofb {
+				return campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, false), nil
+			}
+			return campaign.RFDistributionPOS(p, *n, *seed, *maxSteps), nil
+		}},
+		{ID: "fig5/bottom", Run: func(context.Context, *fleet.Scratch) (*campaign.Distribution, error) {
+			return campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, true), nil
+		}},
 	}
-	bottom := campaign.RFDistributionRFF(p, *n, *seed, *maxSteps, true)
+	results := fleet.Run(context.Background(), cells, fleet.Options{Workers: *workers})
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %s: %v\n%s", r.Cell, r.Err, r.Stack)
+			os.Exit(1)
+		}
+	}
+	top, bottom := results[0].Value, results[1].Value
 
 	fmt.Printf("Figure 5: reads-from combination frequencies on %s (%d schedules)\n\n", p.Name, *n)
 	if *csv {
@@ -448,8 +472,10 @@ func cmdClasses(args []string) {
 }
 
 // cmdPerf runs the hot-path throughput harness: one full fuzzing campaign
-// per program, reporting execs/sec and allocations per execution, persisted
-// as BENCH_perf.json for cross-PR comparison.
+// per program, reporting execs/sec and allocations per execution, plus the
+// fleet matrix-scaling record (wall-clock and speedup at several worker
+// counts on a table-b smoke subset), persisted as BENCH_perf.json for
+// cross-PR comparison.
 func cmdPerf(args []string) {
 	fs := flag.NewFlagSet("perf", flag.ExitOnError)
 	progs := fs.String("progs", strings.Join(perf.DefaultPrograms, ","),
@@ -458,6 +484,10 @@ func cmdPerf(args []string) {
 	maxSteps := fs.Int("maxsteps", 5000, "per-execution step budget")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	out := fs.String("out", "BENCH_perf.json", "output JSON file (empty = stdout only)")
+	matrix := fs.Bool("matrix", true, "also measure matrix wall-clock scaling across fleet worker counts")
+	matrixWorkers := fs.String("matrix-workers", "1,2,4,8", "comma-separated worker counts (first is the speedup baseline)")
+	matrixTrials := fs.Int("matrix-trials", 2, "trials per cell of the scaling matrix")
+	matrixBudget := fs.Int("matrix-budget", 300, "schedule budget per trial of the scaling matrix")
 	pf := addProfileFlags(fs)
 	fs.Parse(args)
 
@@ -467,12 +497,41 @@ func cmdPerf(args []string) {
 	}
 	stopProf := pf.start()
 	rep := perf.Run(ps, *budget, *maxSteps, *seed)
+	if *matrix {
+		var counts []int
+		for _, w := range strings.Split(*matrixWorkers, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || c <= 0 {
+				fmt.Fprintf(os.Stderr, "rffbench: bad -matrix-workers entry %q\n", w)
+				os.Exit(2)
+			}
+			counts = append(counts, c)
+		}
+		// The scaling workload is the table-b smoke subset: the full
+		// tool lineup on the throughput programs, at a budget small
+		// enough to iterate on.
+		rep.Matrix = perf.MeasureMatrix(campaign.DefaultTools(), ps,
+			*matrixTrials, *matrixBudget, *maxSteps, *seed, counts)
+	}
 	stopProf()
 
 	fmt.Printf("hot-path throughput (%d schedules each, seed %d):\n", *budget, *seed)
 	for _, r := range rep.Programs {
 		fmt.Printf("  %-20s %9.0f execs/sec  %7.1f allocs/exec  %9.0f B/exec\n",
 			r.Program, r.ExecsPerSec, r.AllocsPerExec, r.BytesPerExec)
+	}
+	if m := rep.Matrix; m != nil {
+		fmt.Printf("matrix scaling (%d tools x %d programs x %d trials, budget %d):\n",
+			len(m.Tools), len(m.Programs), m.Trials, m.Budget)
+		for _, pt := range m.Points {
+			fmt.Printf("  %2d workers  %8.2fs  %5.2fx\n",
+				pt.Workers, float64(pt.WallNS)/1e9, pt.Speedup)
+		}
+		if !m.ResultsIdentical {
+			fmt.Fprintln(os.Stderr, "rffbench: WARNING: matrix results diverged across worker counts")
+			os.Exit(1)
+		}
+		fmt.Println("  results bit-identical at every worker count")
 	}
 	if *out != "" {
 		if err := rep.WriteJSON(*out); err != nil {

@@ -5,13 +5,16 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
+	"strings"
+	"time"
 
 	"rff/internal/bench"
 	"rff/internal/core"
 	"rff/internal/exec"
+	"rff/internal/fleet"
 	"rff/internal/qlearn"
 	"rff/internal/sched"
 	"rff/internal/stats"
@@ -28,10 +31,22 @@ type Outcome struct {
 	Executions int
 	// Budget is the schedule budget the trial ran under.
 	Budget int
+	// CorpusSize and UniqueSigs carry the greybox fuzzer's final
+	// feedback state (zero for tools without a corpus); the parallel-
+	// determinism golden tests compare them across worker counts, so a
+	// merge bug that perturbs anything beyond the first-bug schedule
+	// still trips.
+	CorpusSize int
+	UniqueSigs int
 	// Err records an infrastructure failure — e.g. a panic recovered
-	// inside the tool — that aborted the trial. Such trials count as
-	// censored no-bug outcomes in the statistics.
+	// inside the tool, or a cancelled trial deadline — that aborted the
+	// trial. Such trials count as censored no-bug outcomes in the
+	// statistics.
 	Err string
+	// Stack is the recovered panic's stack trace (scrubbed of its
+	// nondeterministic goroutine header), empty unless the trial
+	// panicked.
+	Stack string
 }
 
 // Found reports whether the trial exposed the bug.
@@ -69,6 +84,28 @@ func subSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// splitmix is one splitmix64 scrambling round.
+func splitmix(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TrialSeed derives one matrix cell's RNG seed purely from the campaign
+// seed and the cell's identity (tool, program, trial index). Because no
+// stream position or worker assignment enters the hash, sequential and
+// parallel matrix runs — at any worker count and completion order —
+// draw identical seeds for identical cells.
+func TrialSeed(base int64, tool, program string, trial int) int64 {
+	// Scrambling the program hash before folding in the tool hash keeps
+	// concatenation collisions and (tool, program) swaps apart.
+	h := splitmix(hashString(tool) ^ splitmix(hashString(program)))
+	z := splitmix(uint64(base) ^ h)
+	z = splitmix(z ^ uint64(uint32(trial)))
+	return int64(z)
+}
+
 // --- RFF ---------------------------------------------------------------------
 
 // RFFTool runs the core greybox fuzzer.
@@ -94,15 +131,33 @@ func (t RFFTool) Deterministic() bool { return false }
 
 // Run implements Tool.
 func (t RFFTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
-	rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+	return t.runScratch(context.Background(), p, budget, maxSteps, seed, nil)
+}
+
+// runScratch implements scratchRunner: a fleet worker's recycler carries
+// trace buffers across the trials the worker runs. The fuzzer is not
+// interruptible mid-campaign, so ctx is only honoured between trials (by
+// the pool), not inside one.
+func (t RFFTool) runScratch(_ context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
+	opts := core.Options{
 		Budget:          budget,
 		MaxSteps:        maxSteps,
 		Seed:            seed,
 		DisableFeedback: t.NoFeedback,
 		StopAtFirstBug:  true,
 		Telemetry:       t.Telemetry,
-	}).Run()
-	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
+	}
+	if ws != nil {
+		opts.Recycle = ws.recycler
+	}
+	rep := core.NewFuzzer(p.Name, p.Body, opts).Run()
+	return Outcome{
+		FirstBug:   rep.FirstBug,
+		Executions: rep.Executions,
+		Budget:     budget,
+		CorpusSize: rep.CorpusSize,
+		UniqueSigs: rep.UniqueSigs,
+	}
 }
 
 // --- scheduler-based tools ------------------------------------------------------
@@ -126,6 +181,14 @@ func (t SchedulerTool) Deterministic() bool { return false }
 
 // Run implements Tool.
 func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	return t.runScratch(context.Background(), p, budget, maxSteps, seed, nil)
+}
+
+// runScratch implements scratchRunner. The per-execution loop checks ctx
+// between executions, so a fleet cell deadline genuinely interrupts a
+// scheduler-tool trial; the interrupted trial records how far it got and
+// an Err, counting as a censored no-bug outcome.
+func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
 	s := t.Factory()
 	out := Outcome{Budget: budget}
 	var labels []telemetry.Label
@@ -133,9 +196,17 @@ func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Ou
 		labels = []telemetry.Label{telemetry.L("tool", t.ToolName), telemetry.L("program", p.Name)}
 	}
 	// The trial never inspects traces after the crash check, so their
-	// backing arrays recycle straight into the next execution.
+	// backing arrays recycle straight into the next execution — and,
+	// under a fleet worker, across every trial the worker runs.
 	recycler := exec.NewRecycler()
+	if ws != nil {
+		recycler = ws.recycler
+	}
 	for i := 1; i <= budget; i++ {
+		if err := ctx.Err(); err != nil {
+			out.Err = fmt.Sprintf("trial aborted after %d schedules: %v", out.Executions, err)
+			break
+		}
 		res := exec.Run(p.Name, p.Body, exec.Config{
 			Scheduler: s,
 			Seed:      subSeed(seed, i),
@@ -249,16 +320,46 @@ type MatrixOptions struct {
 	Budget int
 	// MaxSteps bounds each execution (0 = engine default).
 	MaxSteps int
-	// BaseSeed makes the whole matrix reproducible.
+	// BaseSeed makes the whole matrix reproducible: every cell's seed is
+	// TrialSeed(BaseSeed, tool, program, trial), so results are
+	// bit-identical at any worker count.
 	BaseSeed int64
-	// Parallelism caps concurrent trials (0 = GOMAXPROCS).
+	// Workers caps concurrent trials (0 = GOMAXPROCS).
+	Workers int
+	// Parallelism is the legacy name for Workers, honoured when Workers
+	// is 0.
 	Parallelism int
+	// TrialTimeout, if positive, arms a wall-clock deadline on every
+	// trial. Scheduler-based tools (POS, PCT, Random, Q-Learning) stop
+	// at the deadline mid-trial and record an errored outcome; other
+	// tools only observe it between trials. Note that a timeout makes
+	// outcomes wall-clock-dependent — leave it 0 for reproducible
+	// matrices.
+	TrialTimeout time.Duration
 	// Progress, if non-nil, is called after each completed trial.
 	Progress func(done, total int)
 	// Telemetry, if non-nil, receives matrix-level metrics (completed
-	// trials per tool/program, recovered trial panics) and the campaign
-	// event stream (campaign-start, trial-done, campaign-done).
+	// trials per tool/program, recovered trial panics, fleet worker
+	// metrics) and the campaign event stream (campaign-start,
+	// trial-done, trial_error, campaign-done).
 	Telemetry telemetry.Sink
+}
+
+// workerState is the campaign's per-fleet-worker scratch: allocation
+// caches that are unsafe to share across threads but profit from reuse
+// across the trials one worker runs sequentially. The abstract-event
+// InternTable deliberately stays trial-owned (inside each fuzzer):
+// dense EventIDs are assigned in first-intern order, so a worker-shared
+// table would leak trial scheduling into ID assignment.
+type workerState struct {
+	recycler *exec.Recycler
+}
+
+// scratchRunner is the optional Tool extension the matrix runner uses
+// when it owns the trial's execution context: ctx carries the trial
+// deadline and ws the worker's caches.
+type scratchRunner interface {
+	runScratch(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome
 }
 
 // MatrixResult holds every trial outcome, indexed by tool then program.
@@ -270,16 +371,39 @@ type MatrixResult struct {
 	Outcomes map[string]map[string][]Outcome
 }
 
-// RunMatrix executes the evaluation matrix, parallelizing across trials.
+// RunMatrix executes the evaluation matrix, parallelizing across trials
+// on a fleet worker pool. See RunMatrixContext for the guarantees.
 func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *MatrixResult {
+	return RunMatrixContext(context.Background(), tools, programs, opts)
+}
+
+// RunMatrixContext executes the evaluation matrix under ctx. The matrix
+// decomposes into independent (tool, program, trial) cells; a fleet
+// pool runs them concurrently (MatrixOptions.Workers bounds the pool)
+// and the merge barrier re-orders completed cells into the exact
+// sequential result. Every cell draws its seed from TrialSeed, no
+// mutable state is shared across workers, and aggregate telemetry is
+// merged at the barrier in cell order — so the returned MatrixResult is
+// bit-identical at any worker count.
+//
+// A panicking trial is contained by the pool: its outcome records the
+// error and the scrubbed panic stack, and the matrix keeps running.
+// Cancelling ctx aborts unstarted cells (their outcomes record the
+// cancellation error); cells already inside a non-interruptible tool
+// finish first.
+func RunMatrixContext(ctx context.Context, tools []Tool, programs []bench.Program, opts MatrixOptions) *MatrixResult {
 	if opts.Trials <= 0 {
 		opts.Trials = 1
 	}
 	if opts.Budget <= 0 {
 		opts.Budget = 2000
 	}
-	if opts.Parallelism <= 0 {
-		opts.Parallelism = runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = opts.Parallelism
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	res := &MatrixResult{
@@ -290,22 +414,25 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 		tool    Tool
 		program bench.Program
 		trial   int
+		budget  int
 	}
 	var jobs []job
 	for _, tl := range tools {
 		res.Tools = append(res.Tools, tl.Name())
 		res.Outcomes[tl.Name()] = make(map[string][]Outcome)
 		trials := opts.Trials
+		budget := opts.Budget
 		if tl.Deterministic() {
 			// Deterministic tools run once but receive the same total
 			// compute as a randomized tool's trial set (the paper gives
 			// every tool the same wall-clock budget).
 			trials = 1
+			budget *= opts.Trials
 		}
 		for _, p := range programs {
 			res.Outcomes[tl.Name()][p.Name] = make([]Outcome, trials)
 			for tr := 0; tr < trials; tr++ {
-				jobs = append(jobs, job{tl, p, tr})
+				jobs = append(jobs, job{tl, p, tr, budget})
 			}
 		}
 	}
@@ -320,53 +447,80 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 			"trials":   opts.Trials,
 			"budget":   opts.Budget,
 			"jobs":     len(jobs),
+			"workers":  workers,
 		})
 	}
 
-	var (
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, opts.Parallelism)
-		mu   sync.Mutex
-		done int
-	)
-	for _, j := range jobs {
+	cells := make([]fleet.Cell[Outcome], len(jobs))
+	for i, j := range jobs {
 		j := j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			seed := subSeed(opts.BaseSeed, j.trial*1000003) ^ int64(len(j.program.Name))<<32 ^ subSeed(int64(hashString(j.program.Name)), j.trial)
-			budget := opts.Budget
-			if j.tool.Deterministic() {
-				budget *= opts.Trials
-			}
-			out := runTrial(j.tool, j.program, budget, opts.MaxSteps, seed)
-			if t := opts.Telemetry; t != nil {
-				labels := []telemetry.Label{{Name: "tool", Value: j.tool.Name()}, {Name: "program", Value: j.program.Name}}
-				t.Add(telemetry.MTrialsDone, 1, labels...)
-				fields := telemetry.Fields{
-					"tool":       j.tool.Name(),
-					"program":    j.program.Name,
-					"trial":      j.trial,
-					"executions": out.Executions,
-					"first_bug":  out.FirstBug,
+		cells[i] = fleet.Cell[Outcome]{
+			ID: fmt.Sprintf("%s/%s[%d]", j.tool.Name(), j.program.Name, j.trial),
+			Run: func(ctx context.Context, s *fleet.Scratch) (Outcome, error) {
+				seed := TrialSeed(opts.BaseSeed, j.tool.Name(), j.program.Name, j.trial)
+				var out Outcome
+				if sr, ok := j.tool.(scratchRunner); ok {
+					ws, _ := s.State.(*workerState)
+					out = sr.runScratch(ctx, j.program, j.budget, opts.MaxSteps, seed, ws)
+				} else {
+					out = j.tool.Run(j.program, j.budget, opts.MaxSteps, seed)
 				}
-				if out.Errored() {
-					t.Add(telemetry.MTrialPanics, 1, labels...)
-					fields["error"] = out.Err
+				// Streamed while the matrix runs, tagged with the full
+				// cell identity so interleaved workers stay told apart.
+				// The terminal event of a panicking cell is instead the
+				// trial_error emitted at the merge barrier.
+				if t := opts.Telemetry; t != nil && !out.Errored() {
+					t.Emit(telemetry.EvTrialDone, telemetry.Fields{
+						"tool":       j.tool.Name(),
+						"program":    j.program.Name,
+						"trial":      j.trial,
+						"executions": out.Executions,
+						"first_bug":  out.FirstBug,
+						"worker":     s.Worker,
+					})
 				}
-				t.Emit(telemetry.EvTrialDone, fields)
-			}
-			mu.Lock()
-			res.Outcomes[j.tool.Name()][j.program.Name][j.trial] = out
-			done++
-			if opts.Progress != nil {
-				opts.Progress(done, len(jobs))
-			}
-			mu.Unlock()
-		}()
+				return out, nil
+			},
+		}
 	}
-	wg.Wait()
+
+	results := fleet.Run(ctx, cells, fleet.Options{
+		Workers:     workers,
+		CellTimeout: opts.TrialTimeout,
+		NewState:    func(int) any { return &workerState{recycler: exec.NewRecycler()} },
+		OnDone:      opts.Progress,
+		Telemetry:   opts.Telemetry,
+	})
+
+	// Merge barrier: fold completed cells back into matrix order. The
+	// result maps, the aggregate counters, and the trial_error events
+	// are all populated in deterministic cell order here, independent of
+	// which worker finished which cell when.
+	for i, r := range results {
+		j := jobs[i]
+		out := r.Value
+		if r.Err != nil {
+			out = Outcome{Budget: j.budget, Err: r.Err.Error(), Stack: r.Stack}
+		}
+		res.Outcomes[j.tool.Name()][j.program.Name][j.trial] = out
+		if t := opts.Telemetry; t != nil {
+			labels := []telemetry.Label{{Name: "tool", Value: j.tool.Name()}, {Name: "program", Value: j.program.Name}}
+			t.Add(telemetry.MTrialsDone, 1, labels...)
+			if out.Errored() {
+				t.Add(telemetry.MTrialPanics, 1, labels...)
+				fields := telemetry.Fields{
+					"tool":    j.tool.Name(),
+					"program": j.program.Name,
+					"trial":   j.trial,
+					"error":   out.Err,
+				}
+				if out.Stack != "" {
+					fields["stack"] = out.Stack
+				}
+				t.Emit(telemetry.EvTrialError, fields)
+			}
+		}
+	}
 	if t := opts.Telemetry; t != nil {
 		t.Emit(telemetry.EvCampaignDone, telemetry.Fields{
 			"jobs":   len(jobs),
@@ -376,28 +530,23 @@ func RunMatrix(tools []Tool, programs []bench.Program, opts MatrixOptions) *Matr
 	return res
 }
 
-// runTrial runs one trial, converting a panicking tool into a failed
-// Outcome so a single broken (tool, program) cell cannot take down the
-// whole evaluation matrix.
-func runTrial(tl Tool, p bench.Program, budget, maxSteps int, seed int64) (out Outcome) {
-	defer func() {
-		if r := recover(); r != nil {
-			out = Outcome{Budget: budget, Err: fmt.Sprintf("panic: %v", r)}
-		}
-	}()
-	return tl.Run(p, budget, maxSteps, seed)
-}
-
 // TrialErrors lists the trials that aborted with an infrastructure
-// error, as "tool/program[trial]: err" strings in matrix order.
+// error, as "tool/program[trial]: err" strings in matrix order. A trial
+// that died in a panic carries its (indented) stack trace after the
+// error line.
 func (m *MatrixResult) TrialErrors() []string {
 	var out []string
 	for _, tool := range m.Tools {
 		for _, p := range m.Programs {
 			for tr, o := range m.Outcomes[tool][p] {
-				if o.Errored() {
-					out = append(out, fmt.Sprintf("%s/%s[%d]: %s", tool, p, tr, o.Err))
+				if !o.Errored() {
+					continue
 				}
+				s := fmt.Sprintf("%s/%s[%d]: %s", tool, p, tr, o.Err)
+				if o.Stack != "" {
+					s += "\n    " + strings.ReplaceAll(strings.TrimRight(o.Stack, "\n"), "\n", "\n    ")
+				}
+				out = append(out, s)
 			}
 		}
 	}

@@ -164,6 +164,14 @@ func TestMatrixRecoversTrialPanics(t *testing.T) {
 		if o.Budget != 300 {
 			t.Fatalf("errored trial lost its budget: %+v", o)
 		}
+		// The recovered stack is captured, points at the panic site, and
+		// is scrubbed of its nondeterministic goroutine header.
+		if !strings.Contains(o.Stack, "panicTool") {
+			t.Fatalf("trial %d stack does not reach the panic site:\n%s", tr, o.Stack)
+		}
+		if strings.HasPrefix(o.Stack, "goroutine ") {
+			t.Fatalf("trial %d stack kept its goroutine header:\n%s", tr, o.Stack)
+		}
 		// Errored trials count as censored no-bug samples.
 		if s := o.Sample(); s.Observed || s.Time != 300 {
 			t.Fatalf("bad censored sample for errored trial: %+v", s)
@@ -182,6 +190,9 @@ func TestMatrixRecoversTrialPanics(t *testing.T) {
 	for _, e := range errs {
 		if !strings.Contains(e, "tool exploded") || !strings.Contains(e, "Panicker/CS/account") {
 			t.Fatalf("unhelpful trial error %q", e)
+		}
+		if !strings.Contains(e, "panicTool") {
+			t.Fatalf("trial error lost the panic stack: %q", e)
 		}
 	}
 }
@@ -227,19 +238,40 @@ func TestMatrixTelemetry(t *testing.T) {
 	if len(evs) < 2 || evs[0].Kind != telemetry.EvCampaignStart || evs[len(evs)-1].Kind != telemetry.EvCampaignDone {
 		t.Fatalf("event stream not bracketed by campaign start/done (%d events)", len(evs))
 	}
-	trialDone, withError := 0, 0
+	// Every trial ends in exactly one terminal event: trial-done for a
+	// healthy trial (emitted mid-run, tagged with its cell identity) or
+	// trial_error for a panicked one (emitted at the merge barrier, with
+	// the stack).
+	trialDone, trialError := 0, 0
 	for _, ev := range evs {
-		if ev.Kind == telemetry.EvTrialDone {
+		switch ev.Kind {
+		case telemetry.EvTrialDone:
 			trialDone++
-			if _, ok := ev.Fields["error"]; ok {
-				withError++
+			if ev.Fields["tool"] == nil || ev.Fields["program"] == nil || ev.Fields["trial"] == nil {
+				t.Fatalf("trial-done event missing cell identity: %+v", ev.Fields)
+			}
+		case telemetry.EvTrialError:
+			trialError++
+			if s, _ := ev.Fields["stack"].(string); !strings.Contains(s, "panicTool") {
+				t.Fatalf("trial_error event lost the panic stack: %+v", ev.Fields)
 			}
 		}
 	}
-	if int64(trialDone) != jobs {
-		t.Fatalf("trial-done events = %d, want %d", trialDone, jobs)
+	if int64(trialDone+trialError) != jobs {
+		t.Fatalf("terminal trial events = %d+%d, want %d", trialDone, trialError, jobs)
 	}
-	if withError != 4 {
-		t.Fatalf("trial-done events with error = %d, want 4", withError)
+	if trialError != 4 {
+		t.Fatalf("trial_error events = %d, want 4", trialError)
+	}
+	// The fleet-level series arrived through the same sink: one cell per
+	// job, durations for each, and an idle pool at the barrier.
+	if got := snap.Total(telemetry.MFleetCellsDone); got != jobs {
+		t.Fatalf("fleet_cells_done = %d, want %d", got, jobs)
+	}
+	if h := snap.Histogram(telemetry.MFleetCellDuration); h == nil || h.Count != jobs {
+		t.Fatalf("fleet_cell_duration histogram = %+v, want %d observations", h, jobs)
+	}
+	if got := snap.Value(telemetry.MFleetWorkersBusy); got != 0 {
+		t.Fatalf("fleet_workers_busy = %d at the barrier, want 0", got)
 	}
 }

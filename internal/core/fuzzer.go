@@ -49,6 +49,12 @@ type Options struct {
 	// interesting-schedule). A nil sink costs one branch per
 	// instrumentation point.
 	Telemetry telemetry.Sink
+	// Recycle, if non-nil, supplies the trace-buffer recycler — a
+	// parallel campaign driver threads one per worker so buffers survive
+	// across the trials that worker runs. Recyclers carry only capacity
+	// hints, never schedule state, so sharing one across sequential
+	// campaigns cannot change results. Nil allocates a fresh recycler.
+	Recycle *exec.Recycler
 }
 
 // FailureRecord captures one crashing schedule (Algorithm 1's S_fail
@@ -118,6 +124,10 @@ func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
 	if opts.Budget <= 0 {
 		panic("core.NewFuzzer: Options.Budget must be positive")
 	}
+	recycler := opts.Recycle
+	if recycler == nil {
+		recycler = exec.NewRecycler()
+	}
 	return &Fuzzer{
 		name:     name,
 		prog:     prog,
@@ -128,7 +138,7 @@ func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
 		sched:    NewProactive(),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		intern:   exec.NewInternTable(),
-		recycler: exec.NewRecycler(),
+		recycler: recycler,
 		tel:      opts.Telemetry,
 		labels:   []telemetry.Label{{Name: "program", Value: name}},
 	}

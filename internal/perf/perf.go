@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rff/internal/bench"
+	"rff/internal/campaign"
 	"rff/internal/core"
 )
 
@@ -46,6 +47,79 @@ type Report struct {
 	MaxSteps  int             `json:"max_steps"`
 	Seed      int64           `json:"seed"`
 	Programs  []ProgramResult `json:"programs"`
+	// Matrix, when present, is the fleet-orchestration scaling record:
+	// the same evaluation matrix timed at several worker counts.
+	Matrix *MatrixPerf `json:"matrix,omitempty"`
+}
+
+// MatrixPoint is one worker count's measurement of the matrix.
+type MatrixPoint struct {
+	Workers int   `json:"workers"`
+	WallNS  int64 `json:"wall_ns"`
+	// Speedup is wall-clock relative to the first measured point (the
+	// convention is to measure 1 worker first, making this speedup over
+	// sequential).
+	Speedup float64 `json:"speedup"`
+}
+
+// MatrixPerf records how matrix wall-clock scales with fleet workers on
+// a fixed (tools, programs, trials, budget) workload.
+type MatrixPerf struct {
+	Tools    []string `json:"tools"`
+	Programs []string `json:"programs"`
+	Trials   int      `json:"trials"`
+	Budget   int      `json:"budget"`
+	// ResultsIdentical reports whether every worker count produced a
+	// byte-identical MatrixResult — the fleet determinism contract,
+	// re-verified on every perf run.
+	ResultsIdentical bool          `json:"results_identical"`
+	Points           []MatrixPoint `json:"points"`
+
+	baselineNS int64 // wall-clock of the first measured point
+}
+
+// MeasureMatrix times the evaluation matrix at each worker count in
+// turn (measure workerCounts[0] = 1 first to make Speedup "versus
+// sequential") and cross-checks that all runs merged to identical
+// results.
+func MeasureMatrix(tools []campaign.Tool, progs []bench.Program, trials, budget, maxSteps int, seed int64, workerCounts []int) *MatrixPerf {
+	mp := &MatrixPerf{Trials: trials, Budget: budget, ResultsIdentical: true}
+	for _, p := range progs {
+		mp.Programs = append(mp.Programs, p.Name)
+	}
+	for _, tl := range tools {
+		mp.Tools = append(mp.Tools, tl.Name())
+	}
+	var baseline []byte
+	for _, w := range workerCounts {
+		start := time.Now()
+		m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{
+			Trials:   trials,
+			Budget:   budget,
+			MaxSteps: maxSteps,
+			BaseSeed: seed,
+			Workers:  w,
+		})
+		wall := time.Since(start).Nanoseconds()
+		pt := MatrixPoint{Workers: w, WallNS: wall, Speedup: 1}
+		data, err := json.Marshal(m)
+		if err != nil {
+			data = nil
+		}
+		if baseline == nil {
+			baseline = data
+			mp.baselineNS = wall
+		} else {
+			if wall > 0 {
+				pt.Speedup = float64(mp.baselineNS) / float64(wall)
+			}
+			if string(data) != string(baseline) {
+				mp.ResultsIdentical = false
+			}
+		}
+		mp.Points = append(mp.Points, pt)
+	}
+	return mp
 }
 
 // DefaultPrograms is the measurement set: a narrow program, a wide one,

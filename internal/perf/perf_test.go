@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rff/internal/bench"
+	"rff/internal/campaign"
 	"rff/internal/perf"
 )
 
@@ -76,5 +77,27 @@ func TestProfileFilesWritten(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", f)
 		}
+	}
+}
+
+func TestMeasureMatrixScaling(t *testing.T) {
+	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()}
+	progs := []bench.Program{bench.MustGet("CS/account"), bench.MustGet("CS/lazy01")}
+	mp := perf.MeasureMatrix(tools, progs, 2, 100, 5000, 1, []int{1, 2})
+	if len(mp.Points) != 2 {
+		t.Fatalf("want 2 scaling points, got %+v", mp.Points)
+	}
+	if mp.Points[0].Workers != 1 || mp.Points[0].Speedup != 1 {
+		t.Fatalf("first point must be the 1-worker baseline: %+v", mp.Points[0])
+	}
+	if mp.Points[1].WallNS <= 0 || mp.Points[1].Speedup <= 0 {
+		t.Fatalf("bad second point: %+v", mp.Points[1])
+	}
+	// The fleet determinism contract, re-verified on every perf run.
+	if !mp.ResultsIdentical {
+		t.Fatal("matrix results diverged between 1 and 2 workers")
+	}
+	if len(mp.Tools) != 2 || len(mp.Programs) != 2 || mp.Trials != 2 || mp.Budget != 100 {
+		t.Fatalf("workload metadata lost: %+v", mp)
 	}
 }

@@ -137,3 +137,50 @@ func TestNilHubIsNoop(t *testing.T) {
 		t.Fatalf("nil hub snapshot has %d metrics", len(got.Metrics))
 	}
 }
+
+// TestSnapshotDeterministicUnderConcurrentWriters drives the same total
+// workload into two registries through different goroutine counts and
+// interleavings, then requires byte-identical snapshots: a parallel
+// campaign's post-barrier metrics must not depend on how its workers'
+// updates raced. (Run under -race in CI, this also proves the registry
+// safe for concurrent fleet emission.)
+func TestSnapshotDeterministicUnderConcurrentWriters(t *testing.T) {
+	apply := func(writers int) []byte {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		// 240 units of work split evenly across the writers, each unit
+		// touching counters, gauges, and histograms on shared and
+		// per-program series.
+		const units = 240
+		per := units / writers
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each writer owns the global unit range [w*per, (w+1)*per),
+				// so the union of all writers' work is the same 240 units
+				// at every writer count — only the interleaving differs.
+				for g := w * per; g < (w+1)*per; g++ {
+					r.Counter("fleet_cells_done").Add(1)
+					r.Counter("schedules_executed", L("program", "p"+string(rune('0'+g%3)))).Add(2)
+					r.Histogram("steps").Observe(int64(g % 7))
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Gauges are last-write-wins; a deterministic campaign sets them
+		// to a merge-time value after the barrier, as the fleet does.
+		r.Gauge("fleet_workers_busy").Set(0)
+		data, err := r.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			t.Fatalf("marshaling snapshot: %v", err)
+		}
+		return data
+	}
+	base := apply(1)
+	for _, writers := range []int{2, 4, 8} {
+		if got := apply(writers); !bytes.Equal(got, base) {
+			t.Errorf("snapshot with %d writers diverged:\n%s\nvs\n%s", writers, base, got)
+		}
+	}
+}

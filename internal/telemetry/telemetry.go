@@ -79,6 +79,18 @@ const (
 	MTrialsDone = "trials_done"
 	// MTrialPanics counts matrix trials aborted by a recovered panic.
 	MTrialPanics = "trial_panics"
+	// MFleetCellsDone counts completed fleet cells; each worker merges
+	// its local count into the counter once, at the pool barrier.
+	MFleetCellsDone = "fleet_cells_done"
+	// MFleetCellDuration is a histogram of per-cell wall-clock time in
+	// microseconds.
+	MFleetCellDuration = "fleet_cell_duration"
+	// MFleetWorkersBusy is a live gauge of fleet workers currently
+	// inside a cell (reset to 0 at the pool barrier).
+	MFleetWorkersBusy = "fleet_workers_busy"
+	// MFleetUtilization is a gauge set at the pool barrier: the percent
+	// of worker wall-clock spent inside cells, 0-100.
+	MFleetUtilization = "fleet_utilization_pct"
 )
 
 // Event kinds emitted by the built-in instrumentation points.
@@ -91,8 +103,13 @@ const (
 	EvFirstBug = "first-bug"
 	// EvInteresting fires when a mutant is added to the corpus.
 	EvInteresting = "interesting-schedule"
-	// EvTrialDone fires after every completed matrix trial.
+	// EvTrialDone fires after every successfully completed matrix trial.
 	EvTrialDone = "trial-done"
+	// EvTrialError fires (at the merge barrier, in deterministic cell
+	// order) for every matrix trial that aborted with an infrastructure
+	// failure; its fields carry the cell identity, error, and panic
+	// stack.
+	EvTrialError = "trial_error"
 )
 
 // Hub is the standard Sink implementation: a metrics Registry plus an
