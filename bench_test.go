@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,8 +34,18 @@ import (
 	"rff/internal/race"
 	"rff/internal/sched"
 	"rff/internal/stats"
+	"rff/internal/strategy"
 	"rff/internal/systematic"
 )
+
+// mustTools resolves strategy specs into the benchmark tool lineups.
+func mustTools(specs ...string) []campaign.Tool {
+	tools, err := strategy.ResolveAll(specs, strategy.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return tools
+}
 
 // tableBCells is a representative slice of the Appendix B matrix: one
 // program per suite plus the headline subjects.
@@ -50,13 +61,7 @@ var tableBCells = []string{
 	"RADBench/bug6",
 }
 
-var tableBTools = []campaign.Tool{
-	campaign.RFFTool{},
-	campaign.NewPOSTool(),
-	campaign.NewPCTTool(3),
-	campaign.PeriodTool{},
-	campaign.NewQLearnTool(),
-}
+var tableBTools = mustTools("rff", "pos", "pct:3", "period", "qlearn")
 
 // BenchmarkTableB regenerates Appendix B cells: one sub-benchmark per
 // (tool, program), reporting mean schedules-to-bug and the find rate.
@@ -69,7 +74,7 @@ func BenchmarkTableB(b *testing.B) {
 				var schedules []float64
 				found := 0
 				for i := 0; i < b.N; i++ {
-					out := tool.Run(p, budget, 5000, int64(i)+1)
+					out := tool.Run(context.Background(), p, budget, 5000, int64(i)+1)
 					if out.Found() {
 						found++
 						schedules = append(schedules, float64(out.FirstBug))
@@ -154,7 +159,7 @@ func BenchmarkRQ2_Ablation(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		m := campaign.RunMatrix(
-			[]campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()},
+			mustTools("rff", "pos"),
 			programs,
 			campaign.MatrixOptions{Trials: 3, Budget: 800, MaxSteps: 5000, BaseSeed: int64(i) + 1},
 		)
@@ -177,7 +182,7 @@ func BenchmarkRQ4_QLearning(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		m := campaign.RunMatrix(
-			[]campaign.Tool{campaign.RFFTool{}, campaign.NewQLearnTool()},
+			mustTools("rff", "qlearn"),
 			programs,
 			campaign.MatrixOptions{Trials: 3, Budget: 800, MaxSteps: 5000, BaseSeed: int64(i) + 1},
 		)
@@ -207,9 +212,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for _, name := range []string{"CS/account", "CS/reorder_10", "CS/reorder_100", "SafeStack"} {
 		p := bench.MustGet(name)
 		b.Run(name, func(b *testing.B) {
-			tool := campaign.NewPOSTool()
+			tool := strategy.MustResolve("pos", strategy.Config{})
 			for i := 0; i < b.N; i++ {
-				tool.Run(p, 1, 5000, int64(i))
+				tool.Run(context.Background(), p, 1, 5000, int64(i))
 			}
 		})
 	}
@@ -220,15 +225,15 @@ func BenchmarkEngineThroughput(b *testing.B) {
 func BenchmarkProactiveOverhead(b *testing.B) {
 	p := bench.MustGet("CS/reorder_10")
 	b.Run("POS", func(b *testing.B) {
-		tool := campaign.NewPOSTool()
+		tool := strategy.MustResolve("pos", strategy.Config{})
 		for i := 0; i < b.N; i++ {
-			tool.Run(p, 1, 5000, int64(i))
+			tool.Run(context.Background(), p, 1, 5000, int64(i))
 		}
 	})
 	b.Run("RFF", func(b *testing.B) {
 		tool := campaign.RFFTool{}
 		for i := 0; i < b.N; i++ {
-			tool.Run(p, 1, 5000, int64(i))
+			tool.Run(context.Background(), p, 1, 5000, int64(i))
 		}
 	})
 }
@@ -242,7 +247,7 @@ func BenchmarkReorderFamily(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var found, sched float64
 			for i := 0; i < b.N; i++ {
-				out := campaign.RFFTool{}.Run(p, 500, 5000, int64(i)+1)
+				out := campaign.RFFTool{}.Run(context.Background(), p, 500, 5000, int64(i)+1)
 				if out.Found() {
 					found++
 					sched += float64(out.FirstBug)

@@ -1,17 +1,22 @@
 // Command rff runs the Reads-From Fuzzer (or one of the baseline
-// concurrency testing tools) on a benchmark program.
+// concurrency testing strategies) on a benchmark program.
 //
 // Usage:
 //
 //	rff list                                   # list benchmark programs
-//	rff run -prog CS/reorder_100 [-tool rff] [-budget 2000] [-seed 1] [-trials 1]
-//	        [-workers N] [-v] [-minimize] [-races] [-out DIR]
+//	rff tools                                  # list registered strategy specs
+//	rff run -prog CS/reorder_100 [-tools rff] [-budget 2000] [-seed 1] [-trials 1]
+//	        [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-races] [-out DIR]
 //	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
 //	rff replay -artifact crashes/crash-000.json [-trace]
 //
-// Tools: rff, rff-nofb, pos, pct3, random, qlearn, period, genmc.
+// Strategies are named by parameterized specs resolved through the
+// internal/strategy registry — `-tools pos,pct:7,rff` runs three tools
+// in one invocation. See `rff tools` (or the README's tool-spec grammar
+// table) for the registered specs: rff, rff:nofb, pos, pct:<depth>,
+// random, qlearn[:key=value...], period[:<bound>], genmc.
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"rff/internal/bench"
@@ -33,6 +40,7 @@ import (
 	"rff/internal/race"
 	"rff/internal/report"
 	"rff/internal/sched"
+	"rff/internal/strategy"
 	"rff/internal/systematic"
 	"rff/internal/telemetry"
 )
@@ -45,6 +53,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		cmdList()
+	case "tools":
+		cmdTools(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
 	case "explore":
@@ -58,11 +68,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rff <list|run|explore|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rff <list|tools|run|explore|replay> [flags]")
 	fmt.Fprintln(os.Stderr, "  rff list")
-	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tool rff|rff-nofb|pos|pct3|random|qlearn|period|genmc] [-budget N] [-seed S] [-trials K] [-workers N] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
+	fmt.Fprintln(os.Stderr, "  rff tools [-q]")
+	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tools SPEC[,SPEC...]] [-budget N] [-seed S] [-trials K] [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
 	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
 	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
+	fmt.Fprintf(os.Stderr, "strategy specs: %s (see `rff tools`)\n", strings.Join(strategy.Names(), ", "))
 }
 
 func cmdList() {
@@ -72,32 +84,27 @@ func cmdList() {
 	}
 }
 
-// toolByName resolves a tool flag, threading the telemetry sink (which
-// may be nil) into the tools that support per-execution instrumentation.
-func toolByName(name string, tel telemetry.Sink) (campaign.Tool, bool) {
-	schedTool := func(t campaign.SchedulerTool) campaign.Tool {
-		t.Telemetry = tel
-		return t
+// cmdTools lists the strategy registry: every spec the -tools flag
+// accepts, with its grammar and the canonical tool name it resolves to.
+func cmdTools(args []string) {
+	fs := flag.NewFlagSet("tools", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print one registered spec name per line (for scripting)")
+	fs.Parse(args)
+	if *quiet {
+		for _, e := range strategy.Entries() {
+			fmt.Println(e.Name)
+		}
+		return
 	}
-	switch name {
-	case "rff":
-		return campaign.RFFTool{Telemetry: tel}, true
-	case "rff-nofb":
-		return campaign.RFFTool{NoFeedback: true, Telemetry: tel}, true
-	case "pos":
-		return schedTool(campaign.NewPOSTool()), true
-	case "pct3":
-		return schedTool(campaign.NewPCTTool(3)), true
-	case "random":
-		return schedTool(campaign.NewRandomTool()), true
-	case "qlearn":
-		return schedTool(campaign.NewQLearnTool()), true
-	case "period":
-		return campaign.PeriodTool{}, true
-	case "genmc":
-		return campaign.GenMCTool{}, true
+	fmt.Printf("%-40s %-18s %s\n", "USAGE", "TOOL", "SUMMARY")
+	for _, e := range strategy.Entries() {
+		tl, err := strategy.Resolve(e.Name, strategy.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rff: resolving %q: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-40s %-18s %s\n", e.Usage, tl.Name(), e.Summary)
 	}
-	return nil, false
 }
 
 // resolveProgram finds a benchmark by exact name, falling back to a
@@ -207,7 +214,8 @@ func (s *telemetrySession) close() {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	prog := fs.String("prog", "", "benchmark program name (see `rff list`)")
-	tool := fs.String("tool", "rff", "testing tool")
+	toolsFlag := fs.String("tools", "", "comma-separated strategy specs to run (see `rff tools`; default rff)")
+	tool := fs.String("tool", "", "single strategy spec (legacy synonym for -tools)")
 	budget := fs.Int("budget", 2000, "schedule budget per trial")
 	seed := fs.Int64("seed", 1, "base random seed")
 	trials := fs.Int("trials", 1, "number of trials")
@@ -217,6 +225,7 @@ func cmdRun(args []string) {
 	outDir := fs.String("out", "", "directory to write crash artifacts to (rff tool only)")
 	races := fs.Bool("races", false, "run the happens-before race detector over every execution (rff tool only)")
 	workers := fs.Int("workers", 0, "run trials concurrently on this many fleet workers; per-trial results are identical at any count (0 = GOMAXPROCS)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock deadline; a timed-out trial stops within one scheduling step and records an error (0 = none)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
 	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
 	progress := fs.Duration("progress", 0, "print a progress line at this interval (e.g. 10s; 0 = off)")
@@ -228,6 +237,26 @@ func cmdRun(args []string) {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rff: unknown program %q (see `rff list`)\n", *prog)
 		os.Exit(1)
+	}
+	specText := *toolsFlag
+	if specText == "" {
+		specText = *tool
+	}
+	if specText == "" {
+		specText = "rff"
+	}
+	specs, err := strategy.ParseSpecs(specText)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	// Canonicalize up front so aliases warn exactly once and later
+	// resolutions are warning-free.
+	for i, s := range specs {
+		if specs[i], err = strategy.Canonical(s); err != nil {
+			fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	stopCPU, err := perf.StartCPUProfile(*cpuProfile)
 	if err != nil {
@@ -246,18 +275,29 @@ func cmdRun(args []string) {
 		os.Exit(1)
 	}
 	defer ts.close()
-	tl, ok := toolByName(*tool, ts.sink())
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rff: unknown tool %q\n", *tool)
+	tools, err := strategy.ResolveAll(specs, strategy.Config{Telemetry: ts.sink()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
 		os.Exit(1)
+	}
+	names := make([]string, len(tools))
+	for i, tl := range tools {
+		names[i] = tl.Name()
 	}
 	if s := ts.sink(); s != nil {
 		s.Emit(telemetry.EvCampaignStart, telemetry.Fields{
-			"program": p.Name, "tool": tl.Name(), "budget": *budget, "trials": *trials,
+			"program": p.Name, "tools": strings.Join(names, ","), "budget": *budget, "trials": *trials,
 		})
 	}
+	// Interrupts cancel in-flight trials gracefully: every strategy
+	// observes ctx within one scheduling step, so ^C still reaches the
+	// deferred telemetry flush with whatever completed so far.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
-	if (*verbose || *doMin || *outDir != "" || *races) && *tool == "rff" {
+	canon, _ := strategy.Canonical(specs[0])
+	if (*verbose || *doMin || *outDir != "" || *races) && len(tools) == 1 && canon == "rff" {
+		tl := tools[0]
 		raceKeys := make(map[string]struct{})
 		opts := core.Options{
 			// Derive the same seed the trial loop gives trial 0, so the
@@ -273,7 +313,7 @@ func cmdRun(args []string) {
 				}
 			}
 		}
-		rep := core.NewFuzzer(p.Name, p.Body, opts).Run()
+		rep := core.NewFuzzer(p.Name, p.Body, opts).RunContext(ctx)
 		if *races {
 			defer func() {
 				keys := make([]string, 0, len(raceKeys))
@@ -325,59 +365,94 @@ func cmdRun(args []string) {
 	// Trials are independent cells: each draws its seed from the cell
 	// identity (campaign.TrialSeed), so a fleet pool runs them
 	// concurrently with per-trial results identical at any -workers
-	// count (only completion timing differs; output stays in trial
-	// order via the deterministic merge).
-	nTrials := *trials
-	if tl.Deterministic() {
-		nTrials = 1
+	// count (only completion timing differs; output stays in (tool,
+	// trial) order via the deterministic merge).
+	type cellKey struct {
+		tool  campaign.Tool
+		trial int
 	}
-	cells := make([]fleet.Cell[campaign.Outcome], nTrials)
-	for tr := 0; tr < nTrials; tr++ {
-		tr := tr
-		cells[tr] = fleet.Cell[campaign.Outcome]{
-			ID: fmt.Sprintf("%s/%s[%d]", tl.Name(), p.Name, tr),
-			Run: func(_ context.Context, sc *fleet.Scratch) (campaign.Outcome, error) {
-				out := tl.Run(p, *budget, *maxSteps, campaign.TrialSeed(*seed, tl.Name(), p.Name, tr))
-				if s := ts.sink(); s != nil && !out.Errored() {
-					s.Emit(telemetry.EvTrialDone, telemetry.Fields{
-						"tool": tl.Name(), "program": p.Name, "trial": tr,
-						"executions": out.Executions, "first_bug": out.FirstBug,
-						"worker": sc.Worker,
-					})
-				}
-				return out, nil
-			},
+	var (
+		cells []fleet.Cell[campaign.Outcome]
+		keys  []cellKey
+	)
+	for _, tl := range tools {
+		tl := tl
+		nTrials := *trials
+		if tl.Deterministic() {
+			nTrials = 1
+		}
+		for tr := 0; tr < nTrials; tr++ {
+			tr := tr
+			cells = append(cells, fleet.Cell[campaign.Outcome]{
+				ID:   fmt.Sprintf("%s/%s[%d]", tl.Name(), p.Name, tr),
+				Spec: tl.Name(),
+				Run: func(ctx context.Context, sc *fleet.Scratch) (campaign.Outcome, error) {
+					out := tl.Run(ctx, p, *budget, *maxSteps, campaign.TrialSeed(*seed, tl.Name(), p.Name, tr))
+					if s := ts.sink(); s != nil && !out.Errored() {
+						s.Emit(telemetry.EvTrialDone, telemetry.Fields{
+							"tool": tl.Name(), "program": p.Name, "trial": tr,
+							"executions": out.Executions, "first_bug": out.FirstBug,
+							"worker": sc.Worker,
+						})
+					}
+					return out, nil
+				},
+			})
+			keys = append(keys, cellKey{tool: tl, trial: tr})
 		}
 	}
-	results := fleet.Run(context.Background(), cells, fleet.Options{
-		Workers:   *workers,
-		Telemetry: ts.sink(),
+	results := fleet.Run(ctx, cells, fleet.Options{
+		Workers:     *workers,
+		CellTimeout: *trialTimeout,
+		Telemetry:   ts.sink(),
 	})
-	found := 0
-	for tr, r := range results {
-		out := r.Value
+	var (
+		curName string
+		found   int
+		ran     int
+	)
+	summary := func() {
+		if curName != "" {
+			fmt.Printf("%s on %s: %d/%d trials found the bug\n", curName, p.Name, found, ran)
+		}
+	}
+	for i, r := range results {
+		k := keys[i]
+		tl, out := k.tool, r.Value
+		if tl.Name() != curName {
+			summary()
+			curName, found, ran = tl.Name(), 0, 0
+		}
+		ran++
 		if s := ts.sink(); s != nil {
 			s.Add(telemetry.MTrialsDone, 1, telemetry.L("tool", tl.Name()), telemetry.L("program", p.Name))
 		}
-		if r.Err != nil {
+		errMsg := ""
+		switch {
+		case r.Err != nil:
+			errMsg = r.Err.Error()
 			if s := ts.sink(); s != nil {
 				s.Add(telemetry.MTrialPanics, 1, telemetry.L("tool", tl.Name()), telemetry.L("program", p.Name))
 				s.Emit(telemetry.EvTrialError, telemetry.Fields{
-					"tool": tl.Name(), "program": p.Name, "trial": tr,
-					"error": r.Err.Error(), "stack": r.Stack,
+					"tool": tl.Name(), "program": p.Name, "trial": k.trial,
+					"error": errMsg, "stack": r.Stack,
 				})
 			}
-			fmt.Printf("trial %d: %s aborted: %v\n", tr+1, tl.Name(), r.Err)
-			continue
+		case out.Errored():
+			// In-tool abort (per-trial deadline or ^C observed mid-run).
+			errMsg = out.Err
 		}
-		if out.Found() {
+		switch {
+		case errMsg != "":
+			fmt.Printf("trial %d: %s aborted: %s\n", k.trial+1, tl.Name(), errMsg)
+		case out.Found():
 			found++
-			fmt.Printf("trial %d: %s found the bug after %d schedules\n", tr+1, tl.Name(), out.FirstBug)
-		} else {
-			fmt.Printf("trial %d: %s found no bug in %d schedules\n", tr+1, tl.Name(), out.Executions)
+			fmt.Printf("trial %d: %s found the bug after %d schedules\n", k.trial+1, tl.Name(), out.FirstBug)
+		default:
+			fmt.Printf("trial %d: %s found no bug in %d schedules\n", k.trial+1, tl.Name(), out.Executions)
 		}
 	}
-	fmt.Printf("%s on %s: %d/%d trials found the bug\n", tl.Name(), p.Name, found, *trials)
+	summary()
 }
 
 func cmdReplay(args []string) {

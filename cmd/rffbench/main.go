@@ -11,11 +11,14 @@
 //
 // Matrix commands decompose into (tool, program, trial) cells and run on
 // a fleet worker pool: `-workers N` bounds the pool (default GOMAXPROCS)
-// and results are bit-identical at any worker count. They also take
-// `-json summary.json` (machine-readable per-cell summary, for tracking
-// benchmark trajectories across PRs) and `-metrics out.json` (telemetry
-// snapshot of the run). Every command takes `-cpuprofile FILE` /
-// `-memprofile FILE` to capture pprof profiles of the run.
+// and results are bit-identical at any worker count. table-b/fig4/rq1/all
+// take `-tools SPEC[,SPEC...]` — strategy specs resolved through the
+// internal/strategy registry (see `rff tools`), defaulting to the paper's
+// panel. They also take `-json summary.json` (machine-readable per-cell
+// summary, for tracking benchmark trajectories across PRs) and
+// `-metrics out.json` (telemetry snapshot of the run). Every command
+// takes `-cpuprofile FILE` / `-memprofile FILE` to capture pprof
+// profiles of the run.
 //
 // Budgets default to laptop-scale settings; raise -trials/-budget toward
 // the paper's 20 trials for tighter statistics (see EXPERIMENTS.md).
@@ -37,6 +40,7 @@ import (
 	"rff/internal/perf"
 	"rff/internal/report"
 	"rff/internal/stats"
+	"rff/internal/strategy"
 	"rff/internal/systematic"
 	"rff/internal/telemetry"
 )
@@ -164,7 +168,7 @@ func (mf *matrixFlags) programs() []bench.Program {
 	return out
 }
 
-func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
+func (mf *matrixFlags) run(specs []string) *campaign.MatrixResult {
 	progress := func(done, total int) {
 		if !mf.quiet && (done%25 == 0 || done == total) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
@@ -178,30 +182,25 @@ func (mf *matrixFlags) run(tools []campaign.Tool) *campaign.MatrixResult {
 	if mf.metricsPath != "" {
 		hub = telemetry.NewHub()
 		sink = hub
-		// Thread the sink into the tools that support per-execution
-		// instrumentation so the snapshot carries engine/fuzzer series.
-		for i, tl := range tools {
-			switch t := tl.(type) {
-			case campaign.RFFTool:
-				t.Telemetry = sink
-				tools[i] = t
-			case campaign.SchedulerTool:
-				t.Telemetry = sink
-				tools[i] = t
-			}
-		}
 	}
 	stopProf := mf.prof.start()
 	start := time.Now()
-	m := campaign.RunMatrix(tools, mf.programs(), campaign.MatrixOptions{
+	// The registry threads the sink into every resolved tool exactly
+	// once, so the snapshot carries engine/fuzzer series without any
+	// per-tool retrofitting here.
+	m, err := strategy.RunMatrix(context.Background(), specs, mf.programs(), strategy.Config{
+		Telemetry: sink,
 		Trials:    mf.trials,
 		Budget:    mf.budget,
 		MaxSteps:  mf.maxSteps,
 		BaseSeed:  mf.seed,
 		Workers:   mf.workers,
 		Progress:  progress,
-		Telemetry: sink,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(1)
+	}
 	stopProf()
 	if !mf.quiet {
 		fmt.Fprintf(os.Stderr, "matrix completed in %v\n", time.Since(start).Round(time.Millisecond))
@@ -305,8 +304,15 @@ func writeSummaryJSON(path string, m *campaign.MatrixResult) error {
 func cmdMatrix(args []string, render func(*campaign.MatrixResult)) {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	mf := addMatrixFlags(fs)
+	toolsFlag := fs.String("tools", strings.Join(strategy.DefaultSpecs(), ","),
+		"comma-separated strategy specs (see `rff tools`)")
 	fs.Parse(args)
-	render(mf.run(campaign.DefaultTools()))
+	specs, err := strategy.ParseSpecs(*toolsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+	render(mf.run(specs))
 }
 
 func renderTableB(m *campaign.MatrixResult) {
@@ -362,7 +368,7 @@ func cmdRQ2(args []string) {
 	fs := flag.NewFlagSet("rq2", flag.ExitOnError)
 	mf := addMatrixFlags(fs)
 	fs.Parse(args)
-	m := mf.run([]campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()})
+	m := mf.run([]string{"rff", "pos"})
 	fmt.Println("RQ2: contribution of the abstract schedule (RFF vs its POS fallback)")
 	fmt.Println()
 	fmt.Printf("  RFF mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("RFF")))
@@ -379,7 +385,7 @@ func cmdRQ4(args []string) {
 	fs := flag.NewFlagSet("rq4", flag.ExitOnError)
 	mf := addMatrixFlags(fs)
 	fs.Parse(args)
-	m := mf.run([]campaign.Tool{campaign.RFFTool{}, campaign.NewQLearnTool()})
+	m := mf.run([]string{"rff", "qlearn"})
 	fmt.Println("RQ4: greybox fuzzing vs Q-Learning over the same reads-from information")
 	fmt.Println()
 	fmt.Printf("  RFF          mean bugs found: %.1f\n", stats.Mean(m.BugsFoundPerTrial("RFF")))
@@ -510,7 +516,12 @@ func cmdPerf(args []string) {
 		// The scaling workload is the table-b smoke subset: the full
 		// tool lineup on the throughput programs, at a budget small
 		// enough to iterate on.
-		rep.Matrix = perf.MeasureMatrix(campaign.DefaultTools(), ps,
+		tools, err := strategy.ResolveAll(strategy.DefaultSpecs(), strategy.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Matrix = perf.MeasureMatrix(tools, ps,
 			*matrixTrials, *matrixBudget, *maxSteps, *seed, counts)
 	}
 	stopProf()

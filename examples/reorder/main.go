@@ -10,10 +10,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"rff/internal/bench"
-	"rff/internal/campaign"
+	"rff/internal/strategy"
 )
 
 func main() {
@@ -21,15 +22,15 @@ func main() {
 	fmt.Printf("program: %s (%d threads)\n%s\n\n", prog.Name, prog.Threads, prog.Desc)
 
 	const budget = 1000
-	tools := []campaign.Tool{
-		campaign.RFFTool{},
-		campaign.NewPOSTool(),
-		campaign.NewPCTTool(3),
+	ctx := context.Background()
+	tools, err := strategy.ResolveAll([]string{"rff", "pos", "pct:3"}, strategy.Config{})
+	if err != nil {
+		panic(err)
 	}
 	for _, tool := range tools {
 		fmt.Printf("%-6s ", tool.Name()+":")
 		for trial := int64(0); trial < 5; trial++ {
-			out := tool.Run(prog, budget, 0, 100+trial)
+			out := tool.Run(ctx, prog, budget, 0, 100+trial)
 			if out.Found() {
 				fmt.Printf(" bug@%-5d", out.FirstBug)
 			} else {

@@ -15,10 +15,7 @@ import (
 	"rff/internal/core"
 	"rff/internal/exec"
 	"rff/internal/fleet"
-	"rff/internal/qlearn"
-	"rff/internal/sched"
 	"rff/internal/stats"
-	"rff/internal/systematic"
 	"rff/internal/telemetry"
 )
 
@@ -65,14 +62,21 @@ func (o Outcome) Sample() stats.Sample {
 	return stats.Sample{Time: float64(o.Budget), Observed: false}
 }
 
-// Tool is one concurrency testing technique under evaluation.
+// Tool is one concurrency testing technique under evaluation. Concrete
+// tools are constructed exclusively through the internal/strategy
+// registry, which resolves parameterized spec strings ("rff", "pct:7",
+// ...) to configured Tool values.
 type Tool interface {
 	// Name identifies the tool in reports ("RFF", "POS", "PCT3", ...).
+	// It is the canonical strategy name: seeds, telemetry labels, and
+	// result ordering all key on it.
 	Name() string
 	// Deterministic tools (model checkers) run a single trial.
 	Deterministic() bool
-	// Run performs one trial on the program.
-	Run(p bench.Program, budget, maxSteps int, seed int64) Outcome
+	// Run performs one trial on the program. Cancelling ctx stops the
+	// trial within one scheduling step; the interrupted trial records an
+	// Err and counts as a censored no-bug outcome.
+	Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome
 }
 
 // subSeed derives a per-execution seed from a trial seed; splitmix64-style
@@ -130,15 +134,15 @@ func (t RFFTool) Name() string {
 func (t RFFTool) Deterministic() bool { return false }
 
 // Run implements Tool.
-func (t RFFTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
-	return t.runScratch(context.Background(), p, budget, maxSteps, seed, nil)
+func (t RFFTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	return t.runScratch(ctx, p, budget, maxSteps, seed, nil)
 }
 
 // runScratch implements scratchRunner: a fleet worker's recycler carries
-// trace buffers across the trials the worker runs. The fuzzer is not
-// interruptible mid-campaign, so ctx is only honoured between trials (by
-// the pool), not inside one.
-func (t RFFTool) runScratch(_ context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
+// trace buffers across the trials the worker runs. Cancelling ctx stops
+// the fuzzer within one scheduling step of the in-flight execution; the
+// interrupted trial records how far it got and an Err.
+func (t RFFTool) runScratch(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
 	opts := core.Options{
 		Budget:          budget,
 		MaxSteps:        maxSteps,
@@ -150,14 +154,18 @@ func (t RFFTool) runScratch(_ context.Context, p bench.Program, budget, maxSteps
 	if ws != nil {
 		opts.Recycle = ws.recycler
 	}
-	rep := core.NewFuzzer(p.Name, p.Body, opts).Run()
-	return Outcome{
+	rep := core.NewFuzzer(p.Name, p.Body, opts).RunContext(ctx)
+	out := Outcome{
 		FirstBug:   rep.FirstBug,
 		Executions: rep.Executions,
 		Budget:     budget,
 		CorpusSize: rep.CorpusSize,
 		UniqueSigs: rep.UniqueSigs,
 	}
+	if err := ctx.Err(); err != nil && rep.FirstBug == 0 && rep.Executions < budget {
+		out.Err = fmt.Sprintf("trial aborted after %d schedules: %v", rep.Executions, err)
+	}
+	return out
 }
 
 // --- scheduler-based tools ------------------------------------------------------
@@ -180,14 +188,15 @@ func (t SchedulerTool) Name() string { return t.ToolName }
 func (t SchedulerTool) Deterministic() bool { return false }
 
 // Run implements Tool.
-func (t SchedulerTool) Run(p bench.Program, budget, maxSteps int, seed int64) Outcome {
-	return t.runScratch(context.Background(), p, budget, maxSteps, seed, nil)
+func (t SchedulerTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	return t.runScratch(ctx, p, budget, maxSteps, seed, nil)
 }
 
-// runScratch implements scratchRunner. The per-execution loop checks ctx
-// between executions, so a fleet cell deadline genuinely interrupts a
-// scheduler-tool trial; the interrupted trial records how far it got and
-// an Err, counting as a censored no-bug outcome.
+// runScratch implements scratchRunner. ctx is threaded into every
+// execution's engine (stopping a cancelled execution within one
+// scheduling step) and checked between executions; the interrupted
+// trial records how far it got and an Err, counting as a censored
+// no-bug outcome.
 func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
 	s := t.Factory()
 	out := Outcome{Budget: budget}
@@ -210,10 +219,17 @@ func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, 
 		res := exec.Run(p.Name, p.Body, exec.Config{
 			Scheduler: s,
 			Seed:      subSeed(seed, i),
+			Ctx:       ctx,
 			MaxSteps:  maxSteps,
 			Telemetry: t.Telemetry,
 			Recycle:   recycler,
 		})
+		if res.Cancelled {
+			// The abandoned partial execution is discarded uncounted.
+			recycler.Reclaim(res.Trace)
+			out.Err = fmt.Sprintf("trial aborted after %d schedules: %v", out.Executions, ctx.Err())
+			break
+		}
 		out.Executions = i
 		if tel := t.Telemetry; tel != nil {
 			tel.Add(telemetry.MSchedulesExecuted, 1, labels...)
@@ -231,83 +247,28 @@ func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, 
 	return out
 }
 
-// NewPOSTool returns the Partial Order Sampling baseline.
-func NewPOSTool() SchedulerTool {
-	return SchedulerTool{ToolName: "POS", Factory: func() exec.Scheduler { return sched.NewPOS() }}
-}
-
-// NewPCTTool returns the PCT baseline at the given depth (the paper uses 3).
-func NewPCTTool(depth int) SchedulerTool {
-	return SchedulerTool{
-		ToolName: fmt.Sprintf("PCT%d", depth),
-		Factory:  func() exec.Scheduler { return sched.NewPCT(depth) },
-	}
-}
-
-// NewRandomTool returns the naive uniform random walk.
-func NewRandomTool() SchedulerTool {
-	return SchedulerTool{ToolName: "Random", Factory: func() exec.Scheduler { return sched.NewRandom() }}
-}
-
-// NewQLearnTool returns the Q-Learning-RF baseline of RQ4.
-func NewQLearnTool() SchedulerTool {
-	return SchedulerTool{
-		ToolName: "QLearning-RF",
-		Factory:  func() exec.Scheduler { return qlearn.New(qlearn.Config{}) },
-	}
-}
-
 // --- systematic tools ------------------------------------------------------------
 
-// GenMCTool is the exhaustive-enumeration stand-in for the GenMC stateless
-// model checker.
-type GenMCTool struct{}
-
-// Name implements Tool.
-func (GenMCTool) Name() string { return "GenMC*" }
-
-// Deterministic implements Tool.
-func (GenMCTool) Deterministic() bool { return true }
-
-// Run implements Tool.
-func (GenMCTool) Run(p bench.Program, budget, maxSteps int, _ int64) Outcome {
-	rep := systematic.Explore(p.Name, p.Body, systematic.ExploreOptions{
-		MaxExecutions:  budget,
-		MaxSteps:       maxSteps,
-		StopAtFirstBug: true,
-	})
-	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
+// SystematicTool adapts a deterministic enumerative explorer (the GenMC
+// and PERIOD stand-ins built by internal/strategy on top of
+// internal/systematic) to the Tool interface. The trial seed is ignored:
+// the exploration is a pure function of the program and budget.
+type SystematicTool struct {
+	ToolName string
+	// Explore runs the enumeration under ctx — cancellation must stop it
+	// within one scheduling step — and returns the trial outcome.
+	Explore func(ctx context.Context, p bench.Program, budget, maxSteps int) Outcome
 }
 
-// PeriodTool is the preemption-bounded systematic stand-in for PERIOD.
-type PeriodTool struct{}
-
 // Name implements Tool.
-func (PeriodTool) Name() string { return "PERIOD*" }
+func (t SystematicTool) Name() string { return t.ToolName }
 
 // Deterministic implements Tool.
-func (PeriodTool) Deterministic() bool { return true }
+func (t SystematicTool) Deterministic() bool { return true }
 
 // Run implements Tool.
-func (PeriodTool) Run(p bench.Program, budget, maxSteps int, _ int64) Outcome {
-	rep := systematic.ICB(p.Name, p.Body, systematic.ICBOptions{
-		MaxExecutions:  budget,
-		MaxSteps:       maxSteps,
-		StopAtFirstBug: true,
-	})
-	return Outcome{FirstBug: rep.FirstBug, Executions: rep.Executions, Budget: budget}
-}
-
-// DefaultTools returns the evaluation's tool lineup in table order.
-func DefaultTools() []Tool {
-	return []Tool{
-		NewPCTTool(3),
-		PeriodTool{},
-		RFFTool{},
-		NewPOSTool(),
-		NewQLearnTool(),
-		GenMCTool{},
-	}
+func (t SystematicTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, _ int64) Outcome {
+	return t.Explore(ctx, p, budget, maxSteps)
 }
 
 // --- matrix runner ----------------------------------------------------------------
@@ -456,6 +417,9 @@ func RunMatrixContext(ctx context.Context, tools []Tool, programs []bench.Progra
 		j := j
 		cells[i] = fleet.Cell[Outcome]{
 			ID: fmt.Sprintf("%s/%s[%d]", j.tool.Name(), j.program.Name, j.trial),
+			// The canonical strategy name labels the fleet's per-cell
+			// telemetry series, keeping per-strategy durations apart.
+			Spec: j.tool.Name(),
 			Run: func(ctx context.Context, s *fleet.Scratch) (Outcome, error) {
 				seed := TrialSeed(opts.BaseSeed, j.tool.Name(), j.program.Name, j.trial)
 				var out Outcome
@@ -463,7 +427,7 @@ func RunMatrixContext(ctx context.Context, tools []Tool, programs []bench.Progra
 					ws, _ := s.State.(*workerState)
 					out = sr.runScratch(ctx, j.program, j.budget, opts.MaxSteps, seed, ws)
 				} else {
-					out = j.tool.Run(j.program, j.budget, opts.MaxSteps, seed)
+					out = j.tool.Run(ctx, j.program, j.budget, opts.MaxSteps, seed)
 				}
 				// Streamed while the matrix runs, tagged with the full
 				// cell identity so interleaved workers stay told apart.

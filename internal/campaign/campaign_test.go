@@ -3,14 +3,26 @@ package campaign_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 
 	"rff/internal/bench"
 	"rff/internal/campaign"
+	"rff/internal/strategy"
 	"rff/internal/telemetry"
 )
+
+// mustTools resolves strategy specs into campaign tool lineups.
+func mustTools(t *testing.T, specs ...string) []campaign.Tool {
+	t.Helper()
+	tools, err := strategy.ResolveAll(specs, strategy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tools
+}
 
 func miniPrograms(t *testing.T, names ...string) []bench.Program {
 	t.Helper()
@@ -22,7 +34,7 @@ func miniPrograms(t *testing.T, names ...string) []bench.Program {
 }
 
 func TestMatrixShapeAndDeterminism(t *testing.T) {
-	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool(), campaign.GenMCTool{}}
+	tools := mustTools(t, "rff", "pos", "genmc")
 	progs := miniPrograms(t, "CS/account", "CS/lazy01")
 	opts := campaign.MatrixOptions{Trials: 3, Budget: 200, BaseSeed: 7, Parallelism: 2}
 	m1 := campaign.RunMatrix(tools, progs, opts)
@@ -52,8 +64,7 @@ func TestMatrixShapeAndDeterminism(t *testing.T) {
 }
 
 func TestEasyBugsFoundByAllTools(t *testing.T) {
-	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool(), campaign.NewPCTTool(3),
-		campaign.PeriodTool{}, campaign.NewQLearnTool()}
+	tools := mustTools(t, "rff", "pos", "pct:3", "period", "qlearn")
 	progs := miniPrograms(t, "CS/account")
 	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 2, Budget: 500, BaseSeed: 1})
 	for _, tool := range m.Tools {
@@ -84,7 +95,7 @@ func TestCumulativeCurveMonotone(t *testing.T) {
 }
 
 func TestBugsFoundPerTrialAndWins(t *testing.T) {
-	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()}
+	tools := mustTools(t, "rff", "pos")
 	progs := miniPrograms(t, "CS/reorder_20", "CS/account")
 	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 3, Budget: 400, BaseSeed: 3})
 	rff := m.BugsFoundPerTrial("RFF")
@@ -147,12 +158,12 @@ type panicTool struct{}
 
 func (panicTool) Name() string        { return "Panicker" }
 func (panicTool) Deterministic() bool { return false }
-func (panicTool) Run(bench.Program, int, int, int64) campaign.Outcome {
+func (panicTool) Run(context.Context, bench.Program, int, int, int64) campaign.Outcome {
 	panic("tool exploded")
 }
 
 func TestMatrixRecoversTrialPanics(t *testing.T) {
-	tools := []campaign.Tool{panicTool{}, campaign.NewPOSTool()}
+	tools := append([]campaign.Tool{panicTool{}}, mustTools(t, "pos")...)
 	progs := miniPrograms(t, "CS/account")
 	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 2, Budget: 300, BaseSeed: 3})
 
@@ -268,8 +279,17 @@ func TestMatrixTelemetry(t *testing.T) {
 	if got := snap.Total(telemetry.MFleetCellsDone); got != jobs {
 		t.Fatalf("fleet_cells_done = %d, want %d", got, jobs)
 	}
-	if h := snap.Histogram(telemetry.MFleetCellDuration); h == nil || h.Count != jobs {
-		t.Fatalf("fleet_cell_duration histogram = %+v, want %d observations", h, jobs)
+	// Cell durations are labeled by strategy so a snapshot separates
+	// per-tool timing; the per-spec series must add up to one
+	// observation per job.
+	var durObs int64
+	for _, tool := range m.Tools {
+		if h := snap.Histogram(telemetry.MFleetCellDuration, telemetry.L("spec", tool)); h != nil {
+			durObs += h.Count
+		}
+	}
+	if durObs != jobs {
+		t.Fatalf("fleet_cell_duration observations = %d, want %d", durObs, jobs)
 	}
 	if got := snap.Value(telemetry.MFleetWorkersBusy); got != 0 {
 		t.Fatalf("fleet_workers_busy = %d at the barrier, want 0", got)

@@ -21,7 +21,7 @@ func TestMatrixBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	run := func(workers int) []byte {
 		m := campaign.RunMatrix(
-			[]campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()},
+			mustTools(t, "rff", "pos"),
 			miniPrograms(t, "CS/account", "CS/lazy01", "CS/reorder_3"),
 			campaign.MatrixOptions{Trials: 3, Budget: 300, BaseSeed: 99, Workers: workers},
 		)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"rff/internal/exec"
@@ -146,9 +147,20 @@ func NewFuzzer(name string, prog exec.Program, opts Options) *Fuzzer {
 
 // Run executes the campaign to its budget (or first bug, if configured)
 // and returns the report.
-func (f *Fuzzer) Run() *Report {
+func (f *Fuzzer) Run() *Report { return f.RunContext(context.Background()) }
+
+// RunContext executes the campaign under ctx: cancellation (or a
+// deadline) stops the current execution within one scheduling step and
+// returns the report of everything completed so far. A cancelled
+// partial execution is discarded — it never reaches the feedback state,
+// so an interrupted campaign's report is a prefix of the uninterrupted
+// one.
+func (f *Fuzzer) RunContext(ctx context.Context) *Report {
 	rep := &Report{Program: f.name}
 	for rep.Executions < f.opts.Budget {
+		if ctx.Err() != nil {
+			break
+		}
 		entry := f.corpus.PickNext()
 		energy := 1
 		if !f.opts.DisableFeedback {
@@ -159,7 +171,12 @@ func (f *Fuzzer) Run() *Report {
 			t.Observe(telemetry.MEnergyAssigned, int64(energy), f.labels...)
 		}
 		for i := 0; i < energy && rep.Executions < f.opts.Budget; i++ {
-			if f.fuzzOne(entry, rep) && f.opts.StopAtFirstBug {
+			crashed, cancelled := f.fuzzOne(ctx, entry, rep)
+			if cancelled {
+				f.finish(rep)
+				return rep
+			}
+			if crashed && f.opts.StopAtFirstBug {
 				f.finish(rep)
 				return rep
 			}
@@ -170,8 +187,9 @@ func (f *Fuzzer) Run() *Report {
 }
 
 // fuzzOne performs one iteration of the inner loop: mutate, execute,
-// observe. Reports whether the execution crashed.
-func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
+// observe. Reports whether the execution crashed and whether it was
+// abandoned to a cancelled ctx (in which case nothing was observed).
+func (f *Fuzzer) fuzzOne(ctx context.Context, entry *Entry, rep *Report) (crashed, cancelled bool) {
 	mut := Mutate(entry.Schedule, f.pool, f.rng, f.opts.Mutator)
 	seed := f.rng.Int63()
 	if f.opts.DisableProactive {
@@ -182,6 +200,7 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 	res := exec.Run(f.name, f.prog, exec.Config{
 		Scheduler: f.sched,
 		Seed:      seed,
+		Ctx:       ctx,
 		MaxSteps:  f.opts.MaxSteps,
 		Telemetry: f.opts.Telemetry,
 		Intern:    f.intern,
@@ -190,6 +209,11 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 	// The trace's backing arrays return to the recycler once everything
 	// below has observed it.
 	defer f.recycler.Reclaim(res.Trace)
+	if res.Cancelled {
+		// The execution was abandoned mid-run; its partial trace must not
+		// perturb the feedback state or count against the budget.
+		return false, true
+	}
 	rep.Executions++
 	if f.opts.TraceObserver != nil {
 		f.observeTrace(res.Trace)
@@ -204,7 +228,7 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 		entry.Sig = obs.Sig
 	}
 
-	crashed := res.Buggy()
+	crashed = res.Buggy()
 	if t := f.tel; t != nil {
 		t.Add(telemetry.MSchedulesExecuted, 1, f.labels...)
 		if obs.NewPairs > 0 {
@@ -261,7 +285,7 @@ func (f *Fuzzer) fuzzOne(entry *Entry, rep *Report) bool {
 			}
 		}
 	}
-	return crashed
+	return crashed, false
 }
 
 // observeTrace invokes the user's TraceObserver, containing any panic it

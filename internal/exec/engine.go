@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,12 @@ type Config struct {
 	// Seed is passed to the scheduler's Begin; with a deterministic
 	// scheduler the whole execution is a pure function of (program, seed).
 	Seed int64
+	// Ctx, if non-nil, is checked at every scheduling step: once it is
+	// cancelled the engine stops within one step, tears down the PUT's
+	// goroutines, and returns a Result with Cancelled set. A nil (or
+	// never-cancelled) context changes nothing — the check is one nil
+	// test plus a non-blocking channel poll per step.
+	Ctx context.Context
 	// MaxSteps bounds the number of recorded events (livelock guard).
 	// Zero means DefaultMaxSteps.
 	MaxSteps int
@@ -49,6 +56,11 @@ type Result struct {
 	// Truncated reports that the step budget was exhausted before the
 	// program finished (treated as a non-buggy execution).
 	Truncated bool
+	// Cancelled reports that Config.Ctx was cancelled mid-execution and
+	// the run was abandoned. A cancelled execution is neither buggy nor
+	// complete; callers should discard its (partial) trace after
+	// reclaiming it.
+	Cancelled bool
 }
 
 // Buggy reports whether the execution exposed a bug.
@@ -83,6 +95,10 @@ type Engine struct {
 	notify  chan notice
 	running int // PUT goroutines currently executing (not parked/exited)
 
+	// done is Config.Ctx's cancellation channel (nil when no context was
+	// supplied), polled once per scheduling step.
+	done <-chan struct{}
+
 	// Per-step scratch, reused across the whole execution: the candidate
 	// list, the scheduler's View, and its Enabled slice are rebuilt in
 	// place every scheduling point instead of allocated fresh.
@@ -91,6 +107,7 @@ type Engine struct {
 
 	failure   *Failure
 	truncated bool
+	cancelled bool
 	abort     bool
 }
 
@@ -109,6 +126,9 @@ func Run(name string, p Program, cfg Config) *Result {
 		name:   name,
 		trace:  &Trace{intern: cfg.Intern},
 		notify: make(chan notice),
+	}
+	if cfg.Ctx != nil {
+		e.done = cfg.Ctx.Done()
 	}
 	if r := cfg.Recycle; r != nil {
 		// Adopt the previous execution's backing arrays and sizes: traces
@@ -148,6 +168,7 @@ func Run(name string, p Program, cfg Config) *Result {
 		Trace:     e.trace,
 		Failure:   e.failure,
 		Truncated: e.truncated,
+		Cancelled: e.cancelled,
 	}
 }
 
@@ -187,6 +208,14 @@ func (e *Engine) loop() {
 			e.record(Event{Thread: th.id, Op: OpFail, Loc: p.Loc})
 			e.failure = &Failure{Kind: p.FailKind, Msg: p.FailMsg, Thread: th.id, Loc: p.Loc}
 			return
+		}
+		if e.done != nil {
+			select {
+			case <-e.done:
+				e.cancelled = true
+				return
+			default:
+			}
 		}
 		cands := e.enabledThreads()
 		if len(cands) == 0 {

@@ -58,6 +58,10 @@ type Scratch struct {
 type Cell[T any] struct {
 	// ID names the cell in telemetry and results ("RFF/CS/account[2]").
 	ID string
+	// Spec, if non-empty, is the canonical strategy name behind the cell
+	// (e.g. "PCT3"); the pool labels the cell's duration series with it,
+	// so a snapshot separates per-strategy timing.
+	Spec string
 	// Run executes the cell. ctx carries the pool's cancellation and,
 	// when Options.CellTimeout is set, this cell's deadline; cells that
 	// cannot observe ctx mid-run simply ignore it. scratch is the
@@ -156,7 +160,11 @@ func Run[T any](ctx context.Context, cells []Cell[T], opts Options) []Result[T] 
 				res := runCell(ctx, cells[i], scratch, opts.CellTimeout)
 				if t := opts.Telemetry; t != nil {
 					t.Set(telemetry.MFleetWorkersBusy, busy.Add(-1))
-					t.Observe(telemetry.MFleetCellDuration, res.Duration.Microseconds())
+					if spec := cells[i].Spec; spec != "" {
+						t.Observe(telemetry.MFleetCellDuration, res.Duration.Microseconds(), telemetry.L("spec", spec))
+					} else {
+						t.Observe(telemetry.MFleetCellDuration, res.Duration.Microseconds())
+					}
 				}
 				busyNS.Add(res.Duration.Nanoseconds())
 				cellsDone++

@@ -7,8 +7,8 @@ import (
 	"testing"
 
 	"rff/internal/bench"
-	"rff/internal/campaign"
 	"rff/internal/perf"
+	"rff/internal/strategy"
 )
 
 func TestMeasureAndWriteJSON(t *testing.T) {
@@ -81,7 +81,10 @@ func TestProfileFilesWritten(t *testing.T) {
 }
 
 func TestMeasureMatrixScaling(t *testing.T) {
-	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()}
+	tools, err := strategy.ResolveAll([]string{"rff", "pos"}, strategy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	progs := []bench.Program{bench.MustGet("CS/account"), bench.MustGet("CS/lazy01")}
 	mp := perf.MeasureMatrix(tools, progs, 2, 100, 5000, 1, []int{1, 2})
 	if len(mp.Points) != 2 {

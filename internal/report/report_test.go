@@ -7,6 +7,7 @@ import (
 	"rff/internal/bench"
 	"rff/internal/campaign"
 	"rff/internal/report"
+	"rff/internal/strategy"
 )
 
 func TestTableAlignment(t *testing.T) {
@@ -39,7 +40,10 @@ func TestCellFormats(t *testing.T) {
 }
 
 func TestEndToEndRendering(t *testing.T) {
-	tools := []campaign.Tool{campaign.RFFTool{}, campaign.NewPOSTool()}
+	tools, err := strategy.ResolveAll([]string{"rff", "pos"}, strategy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	progs := []bench.Program{bench.MustGet("CS/account"), bench.MustGet("CS/lazy01")}
 	m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{Trials: 2, Budget: 200, BaseSeed: 5})
 

@@ -15,6 +15,8 @@
 package systematic
 
 import (
+	"context"
+
 	"rff/internal/exec"
 )
 
@@ -77,6 +79,14 @@ func (f *forced) End(*exec.Trace)     {}
 // Explore exhaustively enumerates the scheduling tree of the program in
 // depth-first lexicographic order.
 func Explore(name string, prog exec.Program, opts ExploreOptions) *ExploreReport {
+	return ExploreContext(context.Background(), name, prog, opts)
+}
+
+// ExploreContext is Explore under a context: cancellation stops the
+// in-flight execution within one scheduling step and returns the
+// enumeration state reached so far (a cancelled partial execution is
+// discarded, so the report is a prefix of the uninterrupted one).
+func ExploreContext(ctx context.Context, name string, prog exec.Program, opts ExploreOptions) *ExploreReport {
 	if opts.MaxExecutions <= 0 {
 		panic("systematic.Explore: MaxExecutions must be positive")
 	}
@@ -91,10 +101,17 @@ func Explore(name string, prog exec.Program, opts ExploreOptions) *ExploreReport
 	for rep.Executions < opts.MaxExecutions {
 		res := exec.Run(name, prog, exec.Config{
 			Scheduler: sched,
+			Ctx:       ctx,
 			MaxSteps:  opts.MaxSteps,
 			Intern:    intern,
 			Recycle:   recycler,
 		})
+		if res.Cancelled {
+			// The abandoned run recorded a bogus widths/prefix state;
+			// stop here rather than advance the tree from it.
+			recycler.Reclaim(res.Trace)
+			break
+		}
 		rep.Executions++
 		classes[res.Trace.RFSignature()] = struct{}{}
 		buggy := res.Buggy()
@@ -216,6 +233,13 @@ func (s *icbScheduler) End(*exec.Trace)     {}
 // spawn order (most recently created threads first), which mirrors
 // PERIOD's bias toward exercising late-spawned checker threads early.
 func ICB(name string, prog exec.Program, opts ICBOptions) *ICBReport {
+	return ICBContext(context.Background(), name, prog, opts)
+}
+
+// ICBContext is ICB under a context: cancellation stops the in-flight
+// execution within one scheduling step and ends the exploration,
+// discarding the cancelled partial execution.
+func ICBContext(ctx context.Context, name string, prog exec.Program, opts ICBOptions) *ICBReport {
 	if opts.MaxExecutions <= 0 {
 		panic("systematic.ICB: MaxExecutions must be positive")
 	}
@@ -227,7 +251,10 @@ func ICB(name string, prog exec.Program, opts ICBOptions) *ICBReport {
 
 	runOne := func(ps []preemption) (stop bool) {
 		sched.preemptions = ps
-		res := exec.Run(name, prog, exec.Config{Scheduler: sched, MaxSteps: opts.MaxSteps})
+		res := exec.Run(name, prog, exec.Config{Scheduler: sched, Ctx: ctx, MaxSteps: opts.MaxSteps})
+		if res.Cancelled {
+			return true
+		}
 		rep.Executions++
 		if res.Buggy() && rep.FirstBug == 0 {
 			rep.FirstBug = rep.Executions
