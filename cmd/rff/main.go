@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -464,25 +465,35 @@ func cmdReplay(args []string) {
 		fmt.Fprintln(os.Stderr, "rff replay: -artifact is required")
 		os.Exit(2)
 	}
-	a, err := core.LoadArtifact(*artifact)
+	os.Exit(runReplay(*artifact, *showTrace, os.Stdout, os.Stderr))
+}
+
+// runReplay is cmdReplay's testable core: it loads an artifact, replays
+// its decision sequence, and returns the process exit code. Every
+// failure mode — unreadable file, malformed or truncated JSON, unknown
+// program, non-reproducing schedule — yields a readable message on
+// stderr and a non-zero code, never a panic or a silent success.
+func runReplay(artifactPath string, showTrace bool, stdout, stderr io.Writer) int {
+	a, err := core.LoadArtifact(artifactPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rff: %v\n", err)
+		return 1
 	}
 	p, ok := bench.Get(a.Program)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "rff: artifact references unknown program %q\n", a.Program)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rff: artifact references unknown program %q\n", a.Program)
+		return 1
 	}
 	res := exec.Run(p.Name, p.Body, exec.Config{Scheduler: sched.NewReplay(a.ThreadOrder())})
 	if res.Failure == nil {
-		fmt.Printf("%s: replay did NOT reproduce (expected %s: %s)\n", a.Program, a.FailureKind, a.FailureMsg)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "%s: replay did NOT reproduce (expected %s: %s)\n", a.Program, a.FailureKind, a.FailureMsg)
+		return 1
 	}
-	fmt.Printf("%s: reproduced %v\n", a.Program, res.Failure)
-	if *showTrace {
-		fmt.Print(report.Timeline(res.Trace))
+	fmt.Fprintf(stdout, "%s: reproduced %v\n", a.Program, res.Failure)
+	if showTrace {
+		fmt.Fprint(stdout, report.Timeline(res.Trace))
 	}
+	return 0
 }
 
 func cmdExplore(args []string) {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rff/internal/conformance"
+	"rff/internal/strategy"
+	"rff/internal/telemetry"
+)
+
+// cmdConformance runs the differential conformance harness: generated
+// programs cross-checked against systematic ground truth, every
+// registered strategy held to the soundness and replay invariants. The
+// run is a pure function of (seed, flags): identical invocations print
+// identical summaries and write identical result files. Exits 1 on any
+// violation.
+func cmdConformance(args []string) {
+	fs := flag.NewFlagSet("conformance", flag.ExitOnError)
+	programs := fs.Int("programs", 50, "generated programs to check")
+	seed := fs.Int64("seed", 1, "generator and trial seed")
+	toolsFlag := fs.String("tools", strings.Join(strategy.Names(), ","),
+		"comma-separated strategy specs (default: every registered strategy)")
+	trials := fs.Int("trials", 1, "trials per (program, spec) for randomized strategies")
+	budget := fs.Int("budget", 300, "schedule budget per trial")
+	gtBudget := fs.Int("gt-budget", 60000, "ground-truth enumeration budget per program")
+	maxSteps := fs.Int("maxsteps", 4096, "per-execution step budget")
+	workers := fs.Int("workers", 1, "fleet workers per program; results identical at any count")
+	out := fs.String("out", "", "directory for summary.txt, coverage.txt, and report.json (e.g. results/conformance)")
+	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	pf := addProfileFlags(fs)
+	fs.Parse(args)
+
+	specs, err := strategy.ParseSpecs(*toolsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	var hub *telemetry.Hub
+	var sink telemetry.Sink
+	if *metricsPath != "" {
+		hub = telemetry.NewHub()
+		sink = hub
+	}
+	progress := func(done, total int) {
+		if !*quiet && (done%5 == 0 || done == total) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d programs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	stopProf := pf.start()
+	start := time.Now()
+	rep := conformance.RunContext(context.Background(), conformance.Options{
+		Programs:  *programs,
+		Seed:      *seed,
+		Specs:     specs,
+		Trials:    *trials,
+		Budget:    *budget,
+		GTBudget:  *gtBudget,
+		MaxSteps:  *maxSteps,
+		Workers:   *workers,
+		Telemetry: sink,
+		Progress:  progress,
+	})
+	stopProf()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "conformance completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Print(rep.Summary())
+	fmt.Println()
+	fmt.Print(rep.CoverageCurves())
+
+	if hub != nil {
+		if err := writeMetrics(*metricsPath, hub); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		if err := writeConformanceResults(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// writeConformanceResults persists the run into dir: the deterministic
+// text summary, the coverage curves, and the full machine-readable
+// report.
+func writeConformanceResults(dir string, rep *conformance.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.txt"), []byte(rep.Summary()), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "coverage.txt"), []byte(rep.CoverageCurves()), 0o644); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling conformance report: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "report.json"), append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@
 //	rffbench rq2      [-trials 5] [-budget 2000]      # RFF vs POS ablation + log-rank wins
 //	rffbench rq4      [-trials 5] [-budget 2000]      # Q-Learning-RF comparison
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
+//	rffbench conformance [-programs 50] [-seed 1] [-tools ...]  # differential conformance
 //	rffbench perf     [-budget 2000] [-out BENCH_perf.json]  # hot-path throughput
 //
 // Matrix commands decompose into (tool, program, trial) cells and run on
@@ -72,6 +73,8 @@ func main() {
 		cmdRQ4(args)
 	case "fig5":
 		cmdFig5(args)
+	case "conformance":
+		cmdConformance(args)
 	case "classes":
 		cmdClasses(args)
 	case "perf":
@@ -83,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|perf> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|conformance|perf> [flags]")
 }
 
 // profileFlags holds the pprof flags every subcommand accepts.

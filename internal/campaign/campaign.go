@@ -79,6 +79,12 @@ type Tool interface {
 	Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome
 }
 
+// ResultObserver receives every counted execution's result during a trial
+// — the hook the conformance harness threads through every tool to compare
+// observed behaviors against the systematically enumerated ground truth.
+// Observers run before the trace is reclaimed and must not retain it.
+type ResultObserver func(res *exec.Result)
+
 // subSeed derives a per-execution seed from a trial seed; splitmix64-style
 // mixing keeps streams independent across executions.
 func subSeed(seed int64, i int) int64 {
@@ -120,6 +126,8 @@ type RFFTool struct {
 	// Telemetry, if non-nil, is threaded into every trial's fuzzer (and
 	// through it the execution engine).
 	Telemetry telemetry.Sink
+	// Observer, if non-nil, sees every counted execution's result.
+	Observer ResultObserver
 }
 
 // Name implements Tool.
@@ -150,6 +158,7 @@ func (t RFFTool) runScratch(ctx context.Context, p bench.Program, budget, maxSte
 		DisableFeedback: t.NoFeedback,
 		StopAtFirstBug:  true,
 		Telemetry:       t.Telemetry,
+		ResultObserver:  t.Observer,
 	}
 	if ws != nil {
 		opts.Recycle = ws.recycler
@@ -179,6 +188,8 @@ type SchedulerTool struct {
 	Factory  func() exec.Scheduler
 	// Telemetry, if non-nil, is threaded into every execution's engine.
 	Telemetry telemetry.Sink
+	// Observer, if non-nil, sees every counted execution's result.
+	Observer ResultObserver
 }
 
 // Name implements Tool.
@@ -231,6 +242,9 @@ func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, 
 			break
 		}
 		out.Executions = i
+		if t.Observer != nil {
+			t.Observer(res)
+		}
 		if tel := t.Telemetry; tel != nil {
 			tel.Add(telemetry.MSchedulesExecuted, 1, labels...)
 			if res.Buggy() {

@@ -1,0 +1,119 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToolReport aggregates one strategy's results across every checked
+// program.
+type ToolReport struct {
+	// Tool is the canonical tool name ("RFF", "PCT3", ...); Spec the
+	// spec string it was resolved from.
+	Tool string `json:"tool"`
+	Spec string `json:"spec"`
+	// TrialsRun counts completed (program, trial) cells.
+	TrialsRun int `json:"trials_run"`
+	// Executions is the total schedules the tool ran.
+	Executions int64 `json:"executions"`
+	// BugsFound counts trials that observed at least one failure.
+	BugsFound int `json:"bugs_found"`
+	// Replays counts failure replay checks; ReplayFailures the ones
+	// that did not reproduce the original failure.
+	Replays        int `json:"replays"`
+	ReplayFailures int `json:"replay_failures"`
+	// Coverage[i] is the mean percentage of ground-truth rf-pairs
+	// covered by Report.Checkpoints[i] schedules, averaged over every
+	// (program, trial).
+	Coverage []float64 `json:"coverage_pct"`
+}
+
+// Report is the outcome of one conformance run.
+type Report struct {
+	Seed     int64 `json:"seed"`
+	Budget   int   `json:"budget"`
+	GTBudget int   `json:"gt_budget"`
+	Trials   int   `json:"trials"`
+	// Programs counts checked programs; Skipped the candidates whose
+	// decision tree did not enumerate within GTBudget.
+	Programs int `json:"programs"`
+	Skipped  int `json:"skipped"`
+	// Ground-truth totals across the checked programs.
+	GTExecutions int64 `json:"gt_executions"`
+	GTPairs      int64 `json:"gt_pairs"`
+	GTFailures   int64 `json:"gt_failures"`
+	GTFinals     int64 `json:"gt_finals"`
+	// Checkpoints are the schedule counts the coverage curves sample.
+	Checkpoints []int `json:"checkpoints"`
+	// Tools is one entry per spec, in spec order.
+	Tools []ToolReport `json:"tools"`
+	// Violations lists every invariant breach (empty on a clean run).
+	Violations []Violation `json:"violations,omitempty"`
+	// Err records an aborted run (cancellation, unknown spec, or a
+	// pathological skip rate).
+	Err string `json:"error,omitempty"`
+}
+
+// OK reports whether the run completed with zero violations.
+func (r *Report) OK() bool { return r.Err == "" && len(r.Violations) == 0 }
+
+// Summary renders the deterministic human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: seed %d, %d programs checked (%d skipped), budget %d, gt-budget %d\n",
+		r.Seed, r.Programs, r.Skipped, r.Budget, r.GTBudget)
+	fmt.Fprintf(&b, "ground truth: %d executions enumerated; %d rf-pairs, %d failure behaviors, %d final states\n",
+		r.GTExecutions, r.GTPairs, r.GTFailures, r.GTFinals)
+	if len(r.Checkpoints) > 0 {
+		fmt.Fprintf(&b, "%-18s %7s %9s %5s %8s %9s %s\n",
+			"tool", "trials", "execs", "bugs", "replays", "replay-ok", fmt.Sprintf("rf-coverage%%@%d", r.Checkpoints[len(r.Checkpoints)-1]))
+	}
+	for _, t := range r.Tools {
+		cov := 0.0
+		if len(t.Coverage) > 0 {
+			cov = t.Coverage[len(t.Coverage)-1]
+		}
+		ok := t.Replays - t.ReplayFailures
+		fmt.Fprintf(&b, "%-18s %7d %9d %5d %8d %9d %.1f\n",
+			t.Tool, t.TrialsRun, t.Executions, t.BugsFound, t.Replays, ok, cov)
+	}
+	switch {
+	case len(r.Violations) == 0:
+		b.WriteString("violations: none\n")
+	default:
+		fmt.Fprintf(&b, "violations: %d\n", len(r.Violations))
+		max := len(r.Violations)
+		if max > 20 {
+			max = 20
+		}
+		for _, v := range r.Violations[:max] {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if max < len(r.Violations) {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(r.Violations)-max)
+		}
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", r.Err)
+	}
+	return b.String()
+}
+
+// CoverageCurves renders the per-tool coverage-vs-budget series as
+// aligned columns — the convergence view of the run.
+func (r *Report) CoverageCurves() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "schedules")
+	for _, cp := range r.Checkpoints {
+		fmt.Fprintf(&b, " %7d", cp)
+	}
+	b.WriteByte('\n')
+	for _, t := range r.Tools {
+		fmt.Fprintf(&b, "%-18s", t.Tool)
+		for _, c := range t.Coverage {
+			fmt.Fprintf(&b, " %7.1f", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

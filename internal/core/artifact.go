@@ -105,6 +105,45 @@ func (a *Artifact) ThreadOrder() []exec.ThreadID {
 	return out
 }
 
+// Validate checks the structural invariants every replayable artifact
+// satisfies: a program name, a failure kind, a non-empty decision
+// sequence of valid thread IDs, and a parseable abstract schedule. It
+// guards the replay path against truncated or hand-edited crash files.
+func (a *Artifact) Validate() error {
+	if a.Program == "" {
+		return fmt.Errorf("missing program name")
+	}
+	if a.FailureKind == "" {
+		return fmt.Errorf("missing failure kind")
+	}
+	if len(a.Decisions) == 0 {
+		return fmt.Errorf("empty decision sequence — nothing to replay")
+	}
+	for i, d := range a.Decisions {
+		if d < 1 {
+			return fmt.Errorf("decision %d: invalid thread id %d", i, d)
+		}
+	}
+	if _, err := a.AbstractSchedule(); err != nil {
+		return fmt.Errorf("abstract schedule: %w", err)
+	}
+	return nil
+}
+
+// DecodeArtifact parses and validates artifact JSON. Malformed input —
+// syntactically broken JSON, wrong field types, or a structurally
+// invalid artifact — returns a descriptive error; it never panics.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("malformed artifact JSON: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid artifact: %w", err)
+	}
+	return &a, nil
+}
+
 // Save writes the artifact as pretty-printed JSON.
 func (a *Artifact) Save(path string) error {
 	data, err := json.MarshalIndent(a, "", "  ")
@@ -114,17 +153,17 @@ func (a *Artifact) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// LoadArtifact reads an artifact back.
+// LoadArtifact reads an artifact back, validating it on the way in.
 func LoadArtifact(path string) (*Artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	var a Artifact
-	if err := json.Unmarshal(data, &a); err != nil {
+	a, err := DecodeArtifact(data)
+	if err != nil {
 		return nil, fmt.Errorf("artifact %s: %w", path, err)
 	}
-	return &a, nil
+	return a, nil
 }
 
 // SaveFailures writes every failure of a report into dir as

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -84,5 +86,42 @@ func TestArtifactNegatedConstraints(t *testing.T) {
 func TestLoadArtifactErrors(t *testing.T) {
 	if _, err := core.LoadArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestArtifactSaveLoadSaveByteIdentical: the serialized form is a fixed
+// point — saving a loaded artifact reproduces the original file byte
+// for byte, so crash files survive triage round trips without diff
+// noise.
+func TestArtifactSaveLoadSaveByteIdentical(t *testing.T) {
+	rep := core.NewFuzzer("reorder_5", reorder(5), core.Options{
+		Budget: 500, Seed: 21, StopAtFirstBug: true,
+	}).Run()
+	if !rep.FoundBug() {
+		t.Fatal("no failure to serialize")
+	}
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	if err := core.NewArtifact("reorder_5", rep.Failures[0]).Save(first); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.LoadArtifact(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "second.json")
+	if err := a.Save(second); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("save/load/save changed the bytes:\n%s\nvs\n%s", b1, b2)
 	}
 }

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rff/internal/core"
+)
+
+// validArtifactJSON is a well-formed crash file used to seed the fuzz
+// corpus and anchor the round-trip property.
+const validArtifactJSON = `{
+  "program": "CS/reorder_5",
+  "seed": 21,
+  "execution": 7,
+  "failure_kind": "assertion failure",
+  "failure_msg": "a1 >= 1",
+  "failure_loc": "checker.assert",
+  "thread": 6,
+  "schedule": [
+    {
+      "write": {"op": "write", "var": "a1", "loc": "setter.write"},
+      "read": {"op": "read", "var": "a1", "loc": "checker.read"},
+      "negated": true
+    }
+  ],
+  "decisions": [1, 2, 2, 3, 1]
+}`
+
+// FuzzArtifactDecode: DecodeArtifact never panics, malformed input
+// errors cleanly, and anything that decodes re-encodes to an artifact
+// that decodes to the same value.
+func FuzzArtifactDecode(f *testing.F) {
+	f.Add([]byte(validArtifactJSON))
+	f.Add([]byte(validArtifactJSON[:len(validArtifactJSON)/2])) // truncated
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"program": "p", "failure_kind": "assertion failure", "decisions": [0]}`))
+	f.Add([]byte(`{"program": "p", "failure_kind": "k", "decisions": [1], "schedule": [{"write": {"op": "bogus"}}]}`))
+	f.Add([]byte(`{"decisions": "not-an-array"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := core.DecodeArtifact(data)
+		if err != nil {
+			if a != nil {
+				t.Fatalf("error %v returned non-nil artifact", err)
+			}
+			return
+		}
+		// A decoded artifact is valid by construction and survives a
+		// re-encode/decode cycle intact.
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoded artifact fails validation: %v", err)
+		}
+		out, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("re-encoding decoded artifact: %v", err)
+		}
+		b, err := core.DecodeArtifact(out)
+		if err != nil {
+			t.Fatalf("re-encoded artifact does not decode: %v", err)
+		}
+		if a.Program != b.Program || a.FailureKind != b.FailureKind ||
+			len(a.Decisions) != len(b.Decisions) || len(a.Schedule) != len(b.Schedule) {
+			t.Fatalf("round trip changed the artifact:\n%+v\n%+v", a, b)
+		}
+	})
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// next execution, so observers must finish with the trace before
 	// returning and must not retain it (copy what they keep).
 	TraceObserver func(t *exec.Trace)
+	// ResultObserver, if non-nil, is invoked with every counted execution's
+	// full result (trace plus failure/truncation verdict) — the hook the
+	// conformance harness uses to compare observed behaviors against the
+	// systematically enumerated set. Unlike TraceObserver it is part of the
+	// verification machinery, so a panic propagates instead of being
+	// contained. The same retention rule applies: the result's trace is
+	// recycled after the observer returns, so copy anything kept.
+	ResultObserver func(res *exec.Result)
 	// Telemetry, if non-nil, receives the campaign's metrics (schedules
 	// executed, new reads-from pairs/combinations, corpus growth, power-
 	// schedule energy, constraint outcomes) and events (first-bug,
@@ -217,6 +225,9 @@ func (f *Fuzzer) fuzzOne(ctx context.Context, entry *Entry, rep *Report) (crashe
 	rep.Executions++
 	if f.opts.TraceObserver != nil {
 		f.observeTrace(res.Trace)
+	}
+	if f.opts.ResultObserver != nil {
+		f.opts.ResultObserver(res)
 	}
 
 	obs := f.fb.Observe(res.Trace)

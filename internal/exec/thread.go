@@ -157,6 +157,32 @@ func (t *Thread) WriteAt(v *Var, val int64, loc string) {
 	t.park(Pending{Op: OpWrite, Var: v.obj.id, VarName: v.obj.name, Loc: loc, Val: val})
 }
 
+// AddAt is Add with an explicit source location for both halves.
+func (t *Thread) AddAt(v *Var, delta int64, loc string) int64 {
+	t.park(Pending{Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: loc})
+	nv := t.retVal + delta
+	t.park(Pending{Op: OpWrite, Var: v.obj.id, VarName: v.obj.name, Loc: loc, Val: nv})
+	return nv
+}
+
+// CASAt is CAS with an explicit source location.
+func (t *Thread) CASAt(v *Var, old, new int64, loc string) (int64, bool) {
+	t.park(Pending{
+		Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: loc,
+		RMW: RMWCAS, CASOld: old, Val: new,
+	})
+	return t.retVal, t.retOK
+}
+
+// AtomicAddAt is AtomicAdd with an explicit source location.
+func (t *Thread) AtomicAddAt(v *Var, delta int64, loc string) int64 {
+	t.park(Pending{
+		Op: OpRead, Var: v.obj.id, VarName: v.obj.name, Loc: loc,
+		RMW: RMWAdd, Val: delta,
+	})
+	return t.retVal
+}
+
 // Add performs a NON-atomic increment: a read scheduling point followed by
 // an independent write scheduling point, exactly like a compiled `x += d`
 // (load; add; store). Other threads may interleave between the halves —
@@ -209,10 +235,20 @@ func (t *Thread) Lock(m *Mutex) {
 	t.park(Pending{Op: OpLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
 }
 
+// LockAt is Lock with an explicit source location.
+func (t *Thread) LockAt(m *Mutex, loc string) {
+	t.park(Pending{Op: OpLock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
+}
+
 // Unlock releases the mutex. Unlocking a mutex the thread does not hold is
 // reported as a crash (undefined behaviour in pthreads).
 func (t *Thread) Unlock(m *Mutex) {
 	t.park(Pending{Op: OpUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// UnlockAt is Unlock with an explicit source location.
+func (t *Thread) UnlockAt(m *Mutex, loc string) {
+	t.park(Pending{Op: OpUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
 }
 
 // Wait atomically releases the condition's mutex and blocks until signaled,
@@ -267,6 +303,11 @@ func (t *Thread) Yield() {
 	t.park(Pending{Op: OpYield, Loc: callerLoc(1)})
 }
 
+// YieldAt is Yield with an explicit source location.
+func (t *Thread) YieldAt(loc string) {
+	t.park(Pending{Op: OpYield, Loc: loc})
+}
+
 // --- oracles --------------------------------------------------------------------
 
 // Assert checks a PUT invariant over already-read (thread-local) values.
@@ -278,6 +319,16 @@ func (t *Thread) Assert(cond bool, msg string) {
 		return
 	}
 	t.park(Pending{Op: OpFail, Loc: callerLoc(1), FailKind: FailAssert, FailMsg: msg})
+}
+
+// AssertAt is Assert with an explicit source location for the failure
+// event, so interpreted programs (internal/progen) get per-statement
+// abstract events instead of one shared interpreter call site.
+func (t *Thread) AssertAt(cond bool, msg, loc string) {
+	if cond {
+		return
+	}
+	t.park(Pending{Op: OpFail, Loc: loc, FailKind: FailAssert, FailMsg: msg})
 }
 
 // Assertf is Assert with formatted message construction on failure only.

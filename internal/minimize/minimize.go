@@ -225,6 +225,16 @@ func Minimize(name string, prog exec.Program, decisions []exec.ThreadID, origina
 	return res
 }
 
+// Replay re-executes the program under a forced-switch set (e.g. a
+// Result.Switches) and returns the execution's failure, or nil if the
+// run completed cleanly. This is the consumer-facing half of the
+// minimizer's contract: the minimal switch set is not just small, it
+// still reproduces the bug.
+func Replay(name string, prog exec.Program, switches []Switch, maxSteps int) *exec.Failure {
+	s := &switchSched{switches: switches}
+	return exec.Run(name, prog, exec.Config{Scheduler: s, MaxSteps: maxSteps}).Failure
+}
+
 // preemptionCounter replays a decision sequence while counting the
 // switches that preempted a still-enabled thread — the measure of how
 // "hard" a schedule is to stumble into, and the quantity minimization

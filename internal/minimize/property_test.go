@@ -1,0 +1,71 @@
+package minimize_test
+
+import (
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/core"
+	"rff/internal/minimize"
+)
+
+// propertyCorpus spans every failure kind and several suites while
+// staying small enough for an ordinary test run. The big reorder/
+// twostage instances are excluded: fuzzing them to a failure dominates
+// runtime without exercising anything new in the minimizer.
+var propertyCorpus = []string{
+	"CB/aget-bug2",
+	"CB/pbzip2-0.9.4",
+	"CS/account",
+	"CS/deadlock01",
+	"CS/lazy01",
+	"CS/queue",
+	"CS/reorder_4",
+	"CS/twostage",
+	"CS/wronglock",
+	"Chess/WorkStealQueue",
+	"ConVul-CVE-Benchmarks/CVE-2013-1792",
+	"ConVul-CVE-Benchmarks/CVE-2016-1972",
+	"Extras/reorder_2",
+	"Extras/semaphore_leak",
+	"Inspect_benchmarks/boundedBuffer",
+}
+
+// TestMinimizePropertyAcrossCorpus is the minimizer's core property,
+// checked per bench program: for any failure the fuzzer finds,
+// replaying Result.Switches reproduces a failure of the original kind,
+// and the switch set never grows.
+func TestMinimizePropertyAcrossCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide property test is slow under -short")
+	}
+	for _, name := range propertyCorpus {
+		t.Run(name, func(t *testing.T) {
+			p := bench.MustGet(name)
+			rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+				Budget: 3000, Seed: 17, StopAtFirstBug: true,
+			}).Run()
+			if !rep.FoundBug() {
+				t.Skipf("fuzzer found no failure in budget on %s", name)
+			}
+			fr := rep.Failures[0]
+			res := minimize.Minimize(p.Name, p.Body, fr.Decisions, fr.Failure, minimize.Options{})
+			if res == nil {
+				t.Fatalf("recorded schedule failed to reproduce on %s", name)
+			}
+			if res.MinimalSwitches > res.OriginalSwitches {
+				t.Fatalf("minimization grew the switch count: %d -> %d",
+					res.OriginalSwitches, res.MinimalSwitches)
+			}
+			f := minimize.Replay(p.Name, p.Body, res.Switches, 0)
+			if f == nil {
+				t.Fatalf("minimal switch set did not fail (original %v, %d switches)",
+					fr.Failure.Kind, res.MinimalSwitches)
+			}
+			if f.Kind != fr.Failure.Kind {
+				t.Fatalf("replayed failure kind %v, original %v", f.Kind, fr.Failure.Kind)
+			}
+			t.Logf("%s: switches %d -> %d, %d probes, %d preemptions",
+				name, res.OriginalSwitches, res.MinimalSwitches, res.Probes, res.Preemptions)
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"rff/internal/exec"
+)
+
+// Body builds the exec.Program interpreting the AST. Every statement
+// executes through the explicit-location thread API (ReadAt, WriteAt,
+// LockAt, ...) with its own synthetic location, so each statement is a
+// distinct abstract event op(x)@loc — exactly what the reads-from
+// machinery keys on.
+func (p *Program) Body() exec.Program {
+	return func(t *exec.Thread) {
+		vars := make([]*exec.Var, p.NVars)
+		for i := range vars {
+			vars[i] = t.NewVar(fmt.Sprintf("x%d", i), p.Inits[i])
+		}
+		mus := make([]*exec.Mutex, p.NMutexes)
+		for i := range mus {
+			mus[i] = t.NewMutex(fmt.Sprintf("m%d", i))
+		}
+		children := make([]*exec.Thread, len(p.Threads))
+		for i, body := range p.Threads {
+			body := body
+			children[i] = t.Go(fmt.Sprintf("w%d", i+1), func(w *exec.Thread) {
+				var regs [2]int64
+				runStmts(w, body, vars, mus, &regs)
+			})
+		}
+		t.JoinAll(children...)
+		// Sequential epilogue: read every final value, then assert.
+		finals := make([]int64, p.NVars)
+		for i, v := range vars {
+			finals[i] = t.ReadAt(v, fmt.Sprintf("main.final.%d", i))
+		}
+		for i, a := range p.Finals {
+			t.AssertAt(a.Cmp.eval(finals[a.Var], a.Const),
+				fmt.Sprintf("x%d %s %d", a.Var, a.Cmp, a.Const),
+				fmt.Sprintf("main.assert.%d", i))
+		}
+	}
+}
+
+// runStmts interprets one statement list on thread w.
+func runStmts(w *exec.Thread, stmts []Stmt, vars []*exec.Var, mus []*exec.Mutex, regs *[2]int64) {
+	for _, s := range stmts {
+		switch s.Kind {
+		case StLoad:
+			regs[s.Reg] = w.ReadAt(vars[s.Var], s.Loc)
+		case StStore:
+			w.WriteAt(vars[s.Var], s.Const, s.Loc)
+		case StStoreReg:
+			w.WriteAt(vars[s.Var], regs[s.Reg]+s.Delta, s.Loc)
+		case StAddNA:
+			w.AddAt(vars[s.Var], s.Delta, s.Loc)
+		case StAtomicAdd:
+			w.AtomicAddAt(vars[s.Var], s.Delta, s.Loc)
+		case StCAS:
+			w.CASAt(vars[s.Var], s.Old, s.New, s.Loc)
+		case StYield:
+			w.YieldAt(s.Loc)
+		case StAssert:
+			w.AssertAt(s.Cmp.eval(regs[s.Reg], s.Const),
+				fmt.Sprintf("r%d %s %d", s.Reg, s.Cmp, s.Const), s.Loc)
+		case StLocked:
+			w.LockAt(mus[s.Mutex], s.Loc)
+			runStmts(w, s.Body, vars, mus, regs)
+			w.UnlockAt(mus[s.Mutex], s.Loc)
+		default:
+			panic(fmt.Sprintf("progen: unknown statement kind %d", s.Kind))
+		}
+	}
+}
+
+// Source renders the program as deterministic pseudo-code — the artifact
+// tests and humans diff when two "identical" generator streams disagree.
+func (p *Program) Source() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for i, init := range p.Inits {
+		fmt.Fprintf(&b, "var x%d = %d\n", i, init)
+	}
+	for i := 0; i < p.NMutexes; i++ {
+		fmt.Fprintf(&b, "mutex m%d\n", i)
+	}
+	for i, body := range p.Threads {
+		fmt.Fprintf(&b, "thread w%d {\n", i+1)
+		writeStmts(&b, body, 1)
+		b.WriteString("}\n")
+	}
+	for _, a := range p.Finals {
+		fmt.Fprintf(&b, "final assert x%d %s %d\n", a.Var, a.Cmp, a.Const)
+	}
+	return b.String()
+}
+
+// writeStmts renders a statement list at the given indent depth.
+func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s.Kind {
+		case StLoad:
+			fmt.Fprintf(b, "%sr%d = x%d", ind, s.Reg, s.Var)
+		case StStore:
+			fmt.Fprintf(b, "%sx%d = %d", ind, s.Var, s.Const)
+		case StStoreReg:
+			fmt.Fprintf(b, "%sx%d = r%d + %d", ind, s.Var, s.Reg, s.Delta)
+		case StAddNA:
+			fmt.Fprintf(b, "%sx%d += %d", ind, s.Var, s.Delta)
+		case StAtomicAdd:
+			fmt.Fprintf(b, "%satomic x%d += %d", ind, s.Var, s.Delta)
+		case StCAS:
+			fmt.Fprintf(b, "%scas(x%d, %d, %d)", ind, s.Var, s.Old, s.New)
+		case StYield:
+			fmt.Fprintf(b, "%syield", ind)
+		case StAssert:
+			fmt.Fprintf(b, "%sassert r%d %s %d", ind, s.Reg, s.Cmp, s.Const)
+		case StLocked:
+			fmt.Fprintf(b, "%slock m%d {\t// %s\n", ind, s.Mutex, s.Loc)
+			writeStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}", ind)
+		}
+		fmt.Fprintf(b, "\t// %s\n", s.Loc)
+	}
+}

@@ -1,0 +1,364 @@
+// Package progen is a seeded, deterministic generator of small concurrent
+// programs over the internal/exec API: 2–4 worker threads performing
+// shared-variable reads/writes, non-atomic and atomic read-modify-writes,
+// mutex regions, yields, and assertions, drawn from a size-bounded
+// grammar.
+//
+// The point of the generator is conformance testing (internal/
+// conformance): programs are kept small enough that internal/systematic
+// can enumerate their complete scheduling tree, turning the exhaustive
+// enumeration into a ground-truth oracle for every randomized strategy.
+// The per-thread scheduling-point budget therefore shrinks as the thread
+// count grows — the decision tree's width is the product of the threads'
+// op counts, and enumerability is the whole game.
+//
+// Determinism: the emitted program stream is a pure function of the
+// generator seed and options. Generated programs are loop-free, so every
+// schedule either terminates or deadlocks (balanced lock regions; the
+// only blocking is lock acquisition and the final joins), and every
+// failure is one of: assertion violation (racy register or final-state
+// asserts) or deadlock (nested lock regions acquired in opposite
+// orders).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rff/internal/bench"
+	"rff/internal/exec"
+)
+
+// Options bounds the generated grammar. The zero value selects the
+// defaults noted on each field.
+type Options struct {
+	// MinThreads and MaxThreads bound the worker thread count
+	// (defaults 2 and 4).
+	MinThreads, MaxThreads int
+	// MaxVars bounds the shared-variable count (default 3, min 1).
+	MaxVars int
+	// MaxMutexes bounds the mutex count (default 2; 0 is a valid draw).
+	MaxMutexes int
+	// OpBudget overrides the per-thread scheduling-point budget
+	// (0 = derived from the drawn thread count: 5 for 2 threads,
+	// 3 for 3, 2 for 4).
+	OpBudget int
+	// MaxSteps bounds the validation execution (0 = 4096); generated
+	// programs are two orders of magnitude shorter.
+	MaxSteps int
+}
+
+func (o *Options) fill() {
+	if o.MinThreads <= 0 {
+		o.MinThreads = 2
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 4
+	}
+	if o.MaxThreads < o.MinThreads {
+		o.MaxThreads = o.MinThreads
+	}
+	if o.MaxVars <= 0 {
+		o.MaxVars = 3
+	}
+	if o.MaxMutexes < 0 {
+		o.MaxMutexes = 0
+	} else if o.MaxMutexes == 0 {
+		o.MaxMutexes = 2
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 4096
+	}
+}
+
+// opBudget is the per-thread scheduling-point budget by thread count:
+// the decision-tree width grows roughly multinomially in these (the
+// spawn sequence interleaves too), so more threads get fewer operations
+// each. Empirically, these keep most trees under ~30k leaves.
+func opBudget(threads int) int {
+	switch threads {
+	case 2:
+		return 5
+	case 3:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// StmtKind enumerates the grammar's statement forms.
+type StmtKind uint8
+
+const (
+	// StLoad reads a shared variable into a thread-local register.
+	StLoad StmtKind = iota + 1
+	// StStore writes a constant to a shared variable.
+	StStore
+	// StStoreReg writes register+delta to a shared variable.
+	StStoreReg
+	// StAddNA is a non-atomic read-modify-write (x += d as separate
+	// read and write scheduling points — the classic lost-update race).
+	StAddNA
+	// StAtomicAdd is an atomic fetch-add.
+	StAtomicAdd
+	// StCAS is an atomic compare-and-swap.
+	StCAS
+	// StYield is a pure scheduling point.
+	StYield
+	// StAssert checks register Cmp Const; a passing assert is invisible
+	// to the scheduler, a failing one raises FailAssert.
+	StAssert
+	// StLocked is lock(m); Body; unlock(m). Nested regions over
+	// distinct mutexes are the grammar's deadlock source.
+	StLocked
+)
+
+// Cmp is an assertion comparison operator.
+type Cmp uint8
+
+// The comparison operators assertions draw from.
+const (
+	CmpEq Cmp = iota + 1
+	CmpNe
+	CmpLe
+	CmpGe
+)
+
+// String renders the operator.
+func (c Cmp) String() string {
+	switch c {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLe:
+		return "<="
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// eval applies the comparison.
+func (c Cmp) eval(v, k int64) bool {
+	switch c {
+	case CmpEq:
+		return v == k
+	case CmpNe:
+		return v != k
+	case CmpLe:
+		return v <= k
+	case CmpGe:
+		return v >= k
+	}
+	return false
+}
+
+// Stmt is one statement of a generated worker body. Which fields are
+// meaningful depends on Kind.
+type Stmt struct {
+	Kind  StmtKind
+	Var   int   // shared variable index (loads/stores/RMWs)
+	Mutex int   // mutex index (StLocked)
+	Reg   int   // register index (StLoad, StStoreReg, StAssert)
+	Delta int64 // StStoreReg, StAddNA, StAtomicAdd
+	Old   int64 // StCAS expected value
+	New   int64 // StCAS replacement value
+	Const int64 // StStore value, StAssert comparand
+	Cmp   Cmp   // StAssert operator
+	Body  []Stmt
+	// Loc is the statement's synthetic source location ("w2.3"):
+	// distinct per statement, so each one is its own abstract event.
+	Loc string
+}
+
+// FinalAssert is a sequential assertion main runs on a variable's final
+// value after joining every worker.
+type FinalAssert struct {
+	Var   int
+	Cmp   Cmp
+	Const int64
+}
+
+// Program is one generated program: the AST plus the interpreter over it
+// (Body). Vars are named x0..x{NVars-1}, mutexes m0..m{NMutexes-1},
+// worker threads w1..wN.
+type Program struct {
+	// Name identifies the program ("gen/s42/0007"): generator seed plus
+	// candidate index, so equal names imply equal programs.
+	Name string
+	// Seed and Index locate the program in its generator's stream.
+	Seed  int64
+	Index int
+
+	NVars    int
+	NMutexes int
+	// Inits holds each variable's initial value.
+	Inits []int64
+	// Threads holds each worker's statement list.
+	Threads [][]Stmt
+	// Finals are main's post-join assertions.
+	Finals []FinalAssert
+}
+
+// Bench wraps the program for the campaign.Tool interface.
+func (p *Program) Bench() bench.Program {
+	return bench.Program{
+		Name:    p.Name,
+		Suite:   "gen",
+		Bug:     bench.BugNone,
+		Threads: len(p.Threads),
+		Desc:    fmt.Sprintf("generated: %d threads, %d vars, %d mutexes", len(p.Threads), p.NVars, p.NMutexes),
+		Body:    p.Body(),
+	}
+}
+
+// Generator emits a deterministic stream of validated programs.
+type Generator struct {
+	seed int64
+	opts Options
+	rng  *rand.Rand
+	idx  int
+}
+
+// NewGenerator builds a generator. The stream it emits is a pure
+// function of (seed, opts).
+func NewGenerator(seed int64, opts Options) *Generator {
+	opts.fill()
+	return &Generator{seed: seed, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next generates, validates, and returns the stream's next program. The
+// validation run executes the program once under a fixed deterministic
+// scheduler and checks the trace against the engine's invariants
+// (exec.Validate); a violation is a generator/engine bug and panics.
+func (g *Generator) Next() *Program {
+	p := g.gen()
+	res := exec.Run(p.Name, p.Body(), exec.Config{
+		Scheduler: firstEnabled{},
+		MaxSteps:  g.opts.MaxSteps,
+	})
+	if res.Truncated {
+		panic(fmt.Sprintf("progen: %s exceeded %d steps — generator op budget broken", p.Name, g.opts.MaxSteps))
+	}
+	if err := res.Trace.Validate(); err != nil {
+		panic(fmt.Sprintf("progen: %s produced an invalid trace: %v", p.Name, err))
+	}
+	return p
+}
+
+// firstEnabled is the validation scheduler: always picks the first
+// enabled pending op, making the run a pure function of the program.
+type firstEnabled struct{}
+
+func (firstEnabled) Name() string        { return "first-enabled" }
+func (firstEnabled) Begin(int64)         {}
+func (firstEnabled) Pick(*exec.View) int { return 0 }
+func (firstEnabled) Executed(exec.Event) {}
+func (firstEnabled) End(*exec.Trace)     {}
+
+// gen draws one candidate program from the grammar.
+func (g *Generator) gen() *Program {
+	r := g.rng
+	p := &Program{
+		Seed:  g.seed,
+		Index: g.idx,
+		Name:  fmt.Sprintf("gen/s%d/%04d", g.seed, g.idx),
+	}
+	g.idx++
+
+	threads := g.opts.MinThreads + r.Intn(g.opts.MaxThreads-g.opts.MinThreads+1)
+	p.NVars = 1 + r.Intn(g.opts.MaxVars)
+	p.NMutexes = r.Intn(g.opts.MaxMutexes + 1)
+	p.Inits = make([]int64, p.NVars)
+	for i := range p.Inits {
+		p.Inits[i] = int64(r.Intn(3))
+	}
+
+	budget := g.opts.OpBudget
+	if budget <= 0 {
+		budget = opBudget(threads)
+	}
+	p.Threads = make([][]Stmt, threads)
+	for t := 0; t < threads; t++ {
+		counter := 0
+		p.Threads[t] = g.stmts(p, budget, 0, -1, t+1, &counter)
+	}
+
+	// Post-join assertions on final variable values, most of the time.
+	if r.Intn(10) < 7 {
+		n := 1 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			p.Finals = append(p.Finals, FinalAssert{
+				Var:   r.Intn(p.NVars),
+				Cmp:   g.cmp(),
+				Const: int64(r.Intn(6) - 1),
+			})
+		}
+	}
+	return p
+}
+
+// cmp draws an assertion operator.
+func (g *Generator) cmp() Cmp { return Cmp(1 + g.rng.Intn(4)) }
+
+// stmts draws a statement list costing at most budget scheduling points.
+// depth is the lock-nesting depth and held the mutex index held by the
+// enclosing region (-1 = none); tid and counter feed the synthetic
+// source locations.
+func (g *Generator) stmts(p *Program, budget, depth, held, tid int, counter *int) []Stmt {
+	r := g.rng
+	var out []Stmt
+	asserts := 0
+	for budget > 0 {
+		s := Stmt{Loc: fmt.Sprintf("w%d.%d", tid, *counter)}
+		*counter++
+		// Weighted kind choice; zero-cost asserts are capped so the
+		// loop always terminates.
+		k := r.Intn(20)
+		switch {
+		case k < 4: // load
+			s.Kind, s.Var, s.Reg = StLoad, r.Intn(p.NVars), r.Intn(2)
+			budget--
+		case k < 7: // store const
+			s.Kind, s.Var, s.Const = StStore, r.Intn(p.NVars), int64(r.Intn(5))
+			budget--
+		case k < 9: // store reg+delta
+			s.Kind, s.Var, s.Reg, s.Delta = StStoreReg, r.Intn(p.NVars), r.Intn(2), int64(r.Intn(3))
+			budget--
+		case k < 12 && budget >= 2: // non-atomic increment (2 points)
+			s.Kind, s.Var, s.Delta = StAddNA, r.Intn(p.NVars), int64(1+r.Intn(3))
+			budget -= 2
+		case k < 14: // atomic fetch-add
+			s.Kind, s.Var, s.Delta = StAtomicAdd, r.Intn(p.NVars), int64(1+r.Intn(3))
+			budget--
+		case k < 15: // CAS
+			s.Kind, s.Var = StCAS, r.Intn(p.NVars)
+			s.Old, s.New = int64(r.Intn(4)), int64(r.Intn(5))
+			budget--
+		case k < 16: // yield
+			s.Kind = StYield
+			budget--
+		case k < 17 && asserts < 2: // register assert (0 points when passing)
+			s.Kind, s.Reg = StAssert, r.Intn(2)
+			s.Cmp, s.Const = g.cmp(), int64(r.Intn(6)-1)
+			asserts++
+		case p.NMutexes > 0 && depth < 2 && budget >= 3: // lock region
+			m := r.Intn(p.NMutexes)
+			if m == held { // never re-acquire the held mutex
+				m = (m + 1) % p.NMutexes
+			}
+			if m == held {
+				continue // single mutex already held: no region possible
+			}
+			s.Kind, s.Mutex = StLocked, m
+			inner := 1 + r.Intn(budget-2)
+			s.Body = g.stmts(p, inner, depth+1, m, tid, counter)
+			budget -= 2 + inner
+		default:
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -35,6 +35,7 @@ func init() {
 			return campaign.RFFTool{
 				NoFeedback: len(sp.Args) == 1,
 				Telemetry:  cfg.Telemetry,
+				Observer:   cfg.Observer,
 			}, nil
 		},
 	})
@@ -48,6 +49,7 @@ func init() {
 				ToolName:  "POS",
 				Factory:   func() exec.Scheduler { return sched.NewPOS() },
 				Telemetry: cfg.Telemetry,
+				Observer:  cfg.Observer,
 			}, nil
 		},
 	})
@@ -82,6 +84,7 @@ func init() {
 				ToolName:  fmt.Sprintf("PCT%d", depth),
 				Factory:   func() exec.Scheduler { return sched.NewPCT(depth) },
 				Telemetry: cfg.Telemetry,
+				Observer:  cfg.Observer,
 			}, nil
 		},
 	})
@@ -95,6 +98,7 @@ func init() {
 				ToolName:  "Random",
 				Factory:   func() exec.Scheduler { return sched.NewRandom() },
 				Telemetry: cfg.Telemetry,
+				Observer:  cfg.Observer,
 			}, nil
 		},
 	})
@@ -117,6 +121,7 @@ func init() {
 				ToolName:  name,
 				Factory:   func() exec.Scheduler { return qlearn.New(qcfg) },
 				Telemetry: cfg.Telemetry,
+				Observer:  cfg.Observer,
 			}, nil
 		},
 	})
@@ -144,7 +149,7 @@ func init() {
 				return Spec{}, fmt.Errorf("period takes a single bound argument")
 			}
 		},
-		Factory: func(sp Spec, _ Config) (campaign.Tool, error) {
+		Factory: func(sp Spec, cfg Config) (campaign.Tool, error) {
 			bound := 2
 			name := "PERIOD*"
 			if len(sp.Args) == 1 {
@@ -159,6 +164,7 @@ func init() {
 						MaxSteps:       maxSteps,
 						MaxBound:       bound,
 						StopAtFirstBug: true,
+						OnExecution:    cfg.Observer,
 					})
 					return systematicOutcome(ctx, rep.FirstBug, rep.Executions, budget)
 				},
@@ -170,7 +176,7 @@ func init() {
 		Name:    "genmc",
 		Usage:   "genmc",
 		Summary: "exhaustive-enumeration stand-in for the GenMC model checker",
-		Factory: func(_ Spec, _ Config) (campaign.Tool, error) {
+		Factory: func(_ Spec, cfg Config) (campaign.Tool, error) {
 			return campaign.SystematicTool{
 				ToolName: "GenMC*",
 				Explore: func(ctx context.Context, p bench.Program, budget, maxSteps int) campaign.Outcome {
@@ -178,6 +184,7 @@ func init() {
 						MaxExecutions:  budget,
 						MaxSteps:       maxSteps,
 						StopAtFirstBug: true,
+						OnExecution:    cfg.Observer,
 					})
 					return systematicOutcome(ctx, rep.FirstBug, rep.Executions, budget)
 				},

@@ -101,6 +101,11 @@ type Config struct {
 	// Telemetry, if non-nil, is threaded exactly once into every
 	// resolved tool that supports per-execution instrumentation.
 	Telemetry telemetry.Sink
+	// Observer, if non-nil, is threaded into every resolved tool and
+	// sees every counted execution's result (before its trace is
+	// reclaimed) — the conformance harness's cross-check hook. Every
+	// registered strategy honours it.
+	Observer campaign.ResultObserver
 	// Trials per (tool, program) cell; deterministic tools run once.
 	Trials int
 	// Budget is the schedule budget per trial.

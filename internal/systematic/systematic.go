@@ -28,6 +28,13 @@ type ExploreOptions struct {
 	MaxSteps int
 	// StopAtFirstBug ends the exploration at the first failing schedule.
 	StopAtFirstBug bool
+	// OnExecution, if non-nil, is invoked with every counted execution's
+	// result before its trace is reclaimed — the visitor the conformance
+	// harness uses to collect the full enumerated behavior set. The
+	// callback must not retain the result's trace (its backing arrays are
+	// recycled into the next execution); cancelled partial executions are
+	// never reported.
+	OnExecution func(res *exec.Result)
 }
 
 // ExploreReport summarizes an exhaustive enumeration.
@@ -114,6 +121,9 @@ func ExploreContext(ctx context.Context, name string, prog exec.Program, opts Ex
 		}
 		rep.Executions++
 		classes[res.Trace.RFSignature()] = struct{}{}
+		if opts.OnExecution != nil {
+			opts.OnExecution(res)
+		}
 		buggy := res.Buggy()
 		recycler.Reclaim(res.Trace)
 		if buggy && rep.FirstBug == 0 {
@@ -154,6 +164,9 @@ type ICBOptions struct {
 	MaxBound int
 	// StopAtFirstBug ends the exploration at the first failing schedule.
 	StopAtFirstBug bool
+	// OnExecution, if non-nil, is invoked with every counted execution's
+	// result (see ExploreOptions.OnExecution for the retention rules).
+	OnExecution func(res *exec.Result)
 }
 
 // ICBReport summarizes a preemption-bounded exploration.
@@ -256,6 +269,9 @@ func ICBContext(ctx context.Context, name string, prog exec.Program, opts ICBOpt
 			return true
 		}
 		rep.Executions++
+		if opts.OnExecution != nil {
+			opts.OnExecution(res)
+		}
 		if res.Buggy() && rep.FirstBug == 0 {
 			rep.FirstBug = rep.Executions
 			rep.FirstFailure = res.Failure

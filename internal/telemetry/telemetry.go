@@ -91,6 +91,23 @@ const (
 	// MFleetUtilization is a gauge set at the pool barrier: the percent
 	// of worker wall-clock spent inside cells, 0-100.
 	MFleetUtilization = "fleet_utilization_pct"
+	// MConformancePrograms counts generated programs checked by the
+	// conformance harness.
+	MConformancePrograms = "conformance_programs"
+	// MConformanceSkipped counts generated programs skipped because
+	// systematic enumeration did not complete within the ground-truth
+	// budget.
+	MConformanceSkipped = "conformance_skipped"
+	// MConformanceViolations counts soundness violations (behaviors
+	// observed outside the enumerated ground-truth set) per {tool}.
+	MConformanceViolations = "conformance_violations"
+	// MConformanceReplays counts failure replay checks per {tool};
+	// MConformanceReplayFailures counts the ones that did not reproduce.
+	MConformanceReplays        = "conformance_replays"
+	MConformanceReplayFailures = "conformance_replay_failures"
+	// MConformanceCoverage is a histogram of final ground-truth rf-pair
+	// coverage per {tool}, in percent (one observation per program).
+	MConformanceCoverage = "conformance_rf_coverage_pct"
 )
 
 // Event kinds emitted by the built-in instrumentation points.
@@ -110,6 +127,12 @@ const (
 	// failure; its fields carry the cell identity, error, and panic
 	// stack.
 	EvTrialError = "trial_error"
+	// EvConformanceProgram fires after the conformance harness finishes
+	// cross-checking one generated program against its ground truth.
+	EvConformanceProgram = "conformance-program"
+	// EvConformanceViolation fires for every soundness or replay
+	// violation, with the offending tool, program, and behavior.
+	EvConformanceViolation = "conformance-violation"
 )
 
 // Hub is the standard Sink implementation: a metrics Registry plus an
