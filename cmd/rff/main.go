@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rff list                                   # list benchmark programs
-//	rff tools                                  # list registered strategy specs
+//	rff tools [-q] [-json]                     # list registered strategy specs
 //	rff run -prog CS/reorder_100 [-tools rff] [-budget 2000] [-seed 1] [-trials 1]
 //	        [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-races] [-out DIR]
 //	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
@@ -71,7 +71,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: rff <list|tools|run|explore|replay> [flags]")
 	fmt.Fprintln(os.Stderr, "  rff list")
-	fmt.Fprintln(os.Stderr, "  rff tools [-q]")
+	fmt.Fprintln(os.Stderr, "  rff tools [-q] [-json]")
 	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tools SPEC[,SPEC...]] [-budget N] [-seed S] [-trials K] [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
 	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
 	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
@@ -87,10 +87,20 @@ func cmdList() {
 
 // cmdTools lists the strategy registry: every spec the -tools flag
 // accepts, with its grammar and the canonical tool name it resolves to.
+// -json emits the machine-readable listing — the same encoder the
+// daemon's GET /v1/tools endpoint uses, so scripts parse one format.
 func cmdTools(args []string) {
 	fs := flag.NewFlagSet("tools", flag.ExitOnError)
 	quiet := fs.Bool("q", false, "print one registered spec name per line (for scripting)")
+	asJSON := fs.Bool("json", false, "print the registry as JSON (same shape as rffd's GET /v1/tools)")
 	fs.Parse(args)
+	if *asJSON {
+		if err := strategy.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *quiet {
 		for _, e := range strategy.Entries() {
 			fmt.Println(e.Name)

@@ -1,0 +1,114 @@
+// Command rffd is the campaign service daemon: an HTTP/JSON API that
+// queues fuzzing campaigns, runs them through the strategy registry on
+// the fleet pool, streams live telemetry over SSE, and serves results
+// from a content-addressed store (identical re-submissions are cache
+// hits). See DESIGN.md §12 and the README's "Running rffd".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rff/internal/service"
+	"rff/internal/store"
+	"rff/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rffd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("rffd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7717", "listen address")
+	dataDir := fs.String("data", "rffd-data", "data directory (artifact store, index, persisted queue)")
+	maxJobs := fs.Int("max-jobs", 0, "max concurrently running campaigns (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue-cap", 64, "max queued-but-not-running jobs before 503")
+	jobDeadline := fs.Duration("job-deadline", 0, "per-job wall-clock deadline (0 = none)")
+	drainWait := fs.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	eventLog := fs.String("event-log", "", "append daemon events (request log) as JSONL to this file (default stderr)")
+	fs.Parse(argv)
+
+	logger := log.New(os.Stderr, "rffd: ", log.LstdFlags)
+
+	st, err := store.Open(*dataDir)
+	if err != nil {
+		return err
+	}
+
+	// The daemon-level hub carries operational metrics and the
+	// structured request log; per-job campaign telemetry has its own
+	// stream (GET /v1/jobs/{id}/events).
+	hub := telemetry.NewHub()
+	logDest := os.Stderr
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logDest = f
+	}
+	hub.Events = telemetry.NewEventWriter(logDest)
+	defer hub.Events.Flush()
+
+	srv, err := service.New(service.Options{
+		Store:       st,
+		MaxJobs:     *maxJobs,
+		QueueCap:    *queueCap,
+		JobDeadline: *jobDeadline,
+		Telemetry:   hub,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("listening on http://%s (data dir %s)", ln.Addr(), *dataDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Printf("shutting down: draining jobs (up to %s)", *drainWait)
+
+	// Stop accepting connections first, then drain the scheduler:
+	// running jobs get drainWait to finish; stragglers are cancelled
+	// and requeued, and the untouched queue persists for the next run.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -38,15 +38,16 @@ type ProgramResult struct {
 
 // Report is the full perf-harness output.
 type Report struct {
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	NumCPU    int             `json:"num_cpu"`
-	Timestamp string          `json:"timestamp"`
-	Budget    int             `json:"budget"`
-	MaxSteps  int             `json:"max_steps"`
-	Seed      int64           `json:"seed"`
-	Programs  []ProgramResult `json:"programs"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Timestamp  string          `json:"timestamp"`
+	Budget     int             `json:"budget"`
+	MaxSteps   int             `json:"max_steps"`
+	Seed       int64           `json:"seed"`
+	Programs   []ProgramResult `json:"programs"`
 	// Matrix, when present, is the fleet-orchestration scaling record:
 	// the same evaluation matrix timed at several worker counts.
 	Matrix *MatrixPerf `json:"matrix,omitempty"`
@@ -69,6 +70,11 @@ type MatrixPerf struct {
 	Programs []string `json:"programs"`
 	Trials   int      `json:"trials"`
 	Budget   int      `json:"budget"`
+	// NumCPU and GOMAXPROCS pin the hardware/runtime parallelism the
+	// scaling points were measured under — a speedup curve is
+	// meaningless without them.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// ResultsIdentical reports whether every worker count produced a
 	// byte-identical MatrixResult — the fleet determinism contract,
 	// re-verified on every perf run.
@@ -83,7 +89,13 @@ type MatrixPerf struct {
 // sequential") and cross-checks that all runs merged to identical
 // results.
 func MeasureMatrix(tools []campaign.Tool, progs []bench.Program, trials, budget, maxSteps int, seed int64, workerCounts []int) *MatrixPerf {
-	mp := &MatrixPerf{Trials: trials, Budget: budget, ResultsIdentical: true}
+	mp := &MatrixPerf{
+		Trials:           trials,
+		Budget:           budget,
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ResultsIdentical: true,
+	}
 	for _, p := range progs {
 		mp.Programs = append(mp.Programs, p.Name)
 	}
@@ -160,14 +172,15 @@ func Measure(p bench.Program, budget, maxSteps int, seed int64) ProgramResult {
 // Run measures every program and assembles the report.
 func Run(progs []bench.Program, budget, maxSteps int, seed int64) *Report {
 	rep := &Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Budget:    budget,
-		MaxSteps:  maxSteps,
-		Seed:      seed,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Budget:     budget,
+		MaxSteps:   maxSteps,
+		Seed:       seed,
 	}
 	for _, p := range progs {
 		rep.Programs = append(rep.Programs, Measure(p, budget, maxSteps, seed))

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(`{"hello":"world"}`)
+	id, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Valid() {
+		t.Fatalf("Put returned invalid id %q", id)
+	}
+	if id != SumID(data) {
+		t.Fatalf("Put id %s != SumID %s", id, SumID(data))
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get returned %q, want %q", got, data)
+	}
+	if !s.Has(id) {
+		t.Fatal("Has(id) = false after Put")
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("same content")
+	id1, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("dedup broken: %s != %s", id1, id2)
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("expected 1 stored blob, got %d", len(ids))
+	}
+}
+
+func TestGetRejectsBadIDs(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ID{
+		"",
+		"sha256:short",
+		"md5:0000000000000000000000000000000000000000000000000000000000000000",
+		"sha256:../../../../etc/passwd0000000000000000000000000000000000000000",
+		ID("sha256:" + "Z0000000000000000000000000000000000000000000000000000000000000000"[:64]),
+	} {
+		if _, err := s.Get(bad); err == nil {
+			t.Errorf("Get(%q) succeeded, want error", bad)
+		}
+		if s.Has(bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+	}
+	// Valid shape but absent content.
+	absent := SumID([]byte("never stored"))
+	if _, err := s.Get(absent); err == nil {
+		t.Error("Get of absent blob succeeded")
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Put([]byte("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := string(id)[len("sha256:"):]
+	obj := filepath.Join(dir, "objects", h[:2], h)
+	if err := os.WriteFile(obj, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); err == nil {
+		t.Fatal("Get of corrupted blob succeeded")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, blobs = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*blobs)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < blobs; i++ {
+				// Writers collide on every blob: dedup + atomic rename
+				// must keep each object intact.
+				data := []byte(fmt.Sprintf("blob-%d", i))
+				id, err := s.Put(data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("blob %d: got %q", i, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != blobs {
+		t.Fatalf("expected %d blobs, got %d", blobs, len(ids))
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SumID([]byte("canonical request"))
+	if idx.Get(key) != nil {
+		t.Fatal("Get on empty index returned an entry")
+	}
+	rep, _ := s.Put([]byte("report"))
+	art, _ := s.Put([]byte("artifact"))
+	e := &Entry{
+		Key:       key,
+		Request:   []byte(`{"program":"CS/account"}`),
+		Report:    rep,
+		Artifacts: []ID{art},
+		CreatedAt: "2026-08-08T00:00:00Z",
+	}
+	if err := idx.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Index over the same root sees the persisted entry.
+	idx2, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx2.Get(key)
+	if got == nil {
+		t.Fatal("persisted entry not found after reopen")
+	}
+	if got.Report != rep || len(got.Artifacts) != 1 || got.Artifacts[0] != art {
+		t.Fatalf("entry mismatch: %+v", got)
+	}
+	// Mutating the returned copy must not leak into the index.
+	got.Artifacts[0] = "sha256:0000000000000000000000000000000000000000000000000000000000000000"
+	if idx2.Get(key).Artifacts[0] != art {
+		t.Fatal("Get returned a shared slice")
+	}
+}
+
+func TestIndexWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rep, _ := s.Put([]byte(fmt.Sprintf("report-%d", i)))
+		err := idx.Put(&Entry{
+			Key:     SumID([]byte(fmt.Sprintf("key-%d", i))),
+			Request: []byte(`{}`),
+			Report:  rep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No temp file left behind and the index parses.
+	if _, err := os.Stat(filepath.Join(dir, "index.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("index temp file left behind")
+	}
+	idx2, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != 5 {
+		t.Fatalf("expected 5 entries, got %d", idx2.Len())
+	}
+}

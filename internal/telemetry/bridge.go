@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Broadcast is the Sink→stream bridge behind the service daemon's SSE
+// endpoint: it records every emitted event in an ordered in-memory
+// history and fans it out to any number of subscribers. A subscriber
+// arriving mid-campaign (or after it finished) first replays the full
+// history from event 1, then receives live events — with no gap and no
+// duplicate, because registration and the history copy happen under one
+// lock.
+//
+// Metric updates (Add/Set/Observe) delegate to the wrapped inner sink,
+// so a Broadcast drops transparently into any code path that already
+// threads a Sink. Emit is fan-out only; a subscriber that stops
+// draining is disconnected rather than allowed to stall the campaign.
+type Broadcast struct {
+	inner Sink // receives Add/Set/Observe (may be nil)
+
+	mu      sync.Mutex
+	history []Event
+	subs    map[int]chan Event
+	nextSub int
+	closed  bool
+	now     func() time.Time
+}
+
+// subBuffer is each subscriber's live-channel capacity. A subscriber
+// falling more than a buffer behind the emitter is closed (the SSE
+// layer reports the disconnect; the client reconnects and replays).
+const subBuffer = 1024
+
+// NewBroadcast builds a bridge over an optional inner sink.
+func NewBroadcast(inner Sink) *Broadcast {
+	return &Broadcast{inner: inner, subs: make(map[int]chan Event), now: time.Now}
+}
+
+// Add implements Sink by delegating to the inner sink.
+func (b *Broadcast) Add(name string, delta int64, labels ...Label) {
+	if b.inner != nil {
+		b.inner.Add(name, delta, labels...)
+	}
+}
+
+// Set implements Sink by delegating to the inner sink.
+func (b *Broadcast) Set(name string, value int64, labels ...Label) {
+	if b.inner != nil {
+		b.inner.Set(name, value, labels...)
+	}
+}
+
+// Observe implements Sink by delegating to the inner sink.
+func (b *Broadcast) Observe(name string, value int64, labels ...Label) {
+	if b.inner != nil {
+		b.inner.Observe(name, value, labels...)
+	}
+}
+
+// Emit implements Sink: the event is appended to the history and
+// delivered to every live subscriber in emission order. Events after
+// Close are dropped.
+func (b *Broadcast) Emit(kind string, fields Fields) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	ev := Event{
+		Seq:    int64(len(b.history)) + 1,
+		TS:     b.now().UTC().Format(time.RFC3339Nano),
+		Kind:   kind,
+		Fields: fields,
+	}
+	b.history = append(b.history, ev)
+	for id, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Subscriber stalled past its buffer: disconnect it rather
+			// than block the campaign.
+			close(ch)
+			delete(b.subs, id)
+		}
+	}
+}
+
+// Subscribe registers a consumer. replay is the complete event history
+// so far, in order; ch then yields every later event, also in order,
+// and is closed when the Broadcast closes or the subscriber stalls.
+// cancel deregisters (idempotent; ch is closed).
+func (b *Broadcast) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]Event(nil), b.history...)
+	c := make(chan Event, subBuffer)
+	if b.closed {
+		close(c)
+		return replay, c, func() {}
+	}
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = c
+	return replay, c, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if sc, ok := b.subs[id]; ok {
+			close(sc)
+			delete(b.subs, id)
+		}
+	}
+}
+
+// Close marks the stream terminal: every subscriber channel is closed
+// and later Emits are dropped. The history stays readable.
+func (b *Broadcast) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		close(ch)
+		delete(b.subs, id)
+	}
+}
+
+// History returns a copy of the events emitted so far.
+func (b *Broadcast) History() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.history...)
+}
+
+// HistoryJSONL renders the history as JSON Lines — the persistent form
+// the service stores next to a campaign's report.
+func (b *Broadcast) HistoryJSONL() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []byte
+	for _, ev := range b.history {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			continue // unmarshalable payload: skip the line, keep the stream
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBroadcastLateSubscriberReplaysFullHistory(t *testing.T) {
+	b := NewBroadcast(nil)
+	const early = 50
+	for i := 0; i < early; i++ {
+		b.Emit("ev", Fields{"i": i})
+	}
+
+	// A subscriber arriving after `early` events must see the complete
+	// history first, in order, then every live event, also in order,
+	// with no gap and no duplicate at the splice point.
+	replay, ch, cancel := b.Subscribe()
+	defer cancel()
+	if len(replay) != early {
+		t.Fatalf("replay length = %d, want %d", len(replay), early)
+	}
+	const late = 50
+	for i := early; i < early+late; i++ {
+		b.Emit("ev", Fields{"i": i})
+	}
+	b.Close()
+
+	var all []Event
+	all = append(all, replay...)
+	for ev := range ch {
+		all = append(all, ev)
+	}
+	if len(all) != early+late {
+		t.Fatalf("subscriber saw %d events, want %d", len(all), early+late)
+	}
+	for i, ev := range all {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		// Fields round-trip through the history untouched.
+		if got, ok := ev.Fields["i"].(int); !ok || got != i {
+			t.Fatalf("event %d payload = %v", i, ev.Fields["i"])
+		}
+	}
+}
+
+func TestBroadcastSubscriberAfterCloseStillReplays(t *testing.T) {
+	b := NewBroadcast(nil)
+	b.Emit("a", nil)
+	b.Emit("b", nil)
+	b.Close()
+	b.Emit("dropped-after-close", nil)
+
+	replay, ch, cancel := b.Subscribe()
+	defer cancel()
+	if len(replay) != 2 || replay[0].Kind != "a" || replay[1].Kind != "b" {
+		t.Fatalf("replay after close = %+v", replay)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("live channel open after Close")
+	}
+}
+
+func TestBroadcastConcurrentEmitters(t *testing.T) {
+	b := NewBroadcast(nil)
+	_, ch, cancel := b.Subscribe()
+	defer cancel()
+
+	const emitters, perEmitter = 8, 40
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				b.Emit("ev", Fields{"emitter": e, "i": i})
+			}
+		}(e)
+	}
+	wg.Wait()
+	b.Close()
+
+	// Seq numbers are a contiguous 1..N permutation-free sequence even
+	// under concurrent emitters, and the live channel delivers them in
+	// history order.
+	hist := b.History()
+	if len(hist) != emitters*perEmitter {
+		t.Fatalf("history length = %d, want %d", len(hist), emitters*perEmitter)
+	}
+	i := 0
+	for ev := range ch {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("live event %d has seq %d", i, ev.Seq)
+		}
+		i++
+	}
+	if i != emitters*perEmitter {
+		t.Fatalf("live channel delivered %d events, want %d", i, emitters*perEmitter)
+	}
+}
+
+func TestBroadcastStalledSubscriberIsDisconnected(t *testing.T) {
+	b := NewBroadcast(nil)
+	_, ch, cancel := b.Subscribe()
+	defer cancel()
+	// Never drain: after the buffer fills, the emitter must disconnect
+	// the subscriber instead of blocking.
+	for i := 0; i < subBuffer+10; i++ {
+		b.Emit("ev", nil)
+	}
+	n := 0
+	for range ch {
+		n++
+	}
+	if n > subBuffer {
+		t.Fatalf("stalled subscriber received %d events, buffer is %d", n, subBuffer)
+	}
+	if len(b.History()) != subBuffer+10 {
+		t.Fatal("emitter lost events while disconnecting a stalled subscriber")
+	}
+}
+
+func TestBroadcastDelegatesMetrics(t *testing.T) {
+	h := NewHub()
+	b := NewBroadcast(h)
+	var s Sink = b
+	s.Add(MSchedulesExecuted, 2)
+	s.Set(MCorpusSize, 9)
+	s.Observe(MStepsPerSchedule, 5)
+	snap := h.Snapshot()
+	if snap.Value(MSchedulesExecuted) != 2 || snap.Value(MCorpusSize) != 9 {
+		t.Fatalf("metrics did not reach the inner sink: %+v", snap)
+	}
+
+	// HistoryJSONL renders one parseable line per event.
+	b.Emit("x", Fields{"k": "v"})
+	b.Emit("y", nil)
+	lines := decodeLines(t, b.HistoryJSONL())
+	if len(lines) != 2 || lines[0].Kind != "x" || lines[1].Seq != 2 {
+		t.Fatalf("HistoryJSONL = %+v", lines)
+	}
+}
+
+// TestEventWriterConcurrentWriters hammers the JSONL sink from many
+// goroutines and asserts the stream stays line-atomic: every line
+// parses, seq numbers form exactly 1..N with no gap or duplicate, and
+// nothing is dropped.
+func TestEventWriterConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	const writers, perWriter = 16, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ew.Emit("concurrent", Fields{"writer": w, "i": i, "pad": fmt.Sprintf("%0128d", i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ew.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0", ew.Dropped())
+	}
+	evs := decodeLines(t, buf.Bytes())
+	const total = writers * perWriter
+	if len(evs) != total {
+		t.Fatalf("decoded %d events, want %d", len(evs), total)
+	}
+	seen := make(map[int64]bool, total)
+	for _, ev := range evs {
+		if ev.Seq < 1 || ev.Seq > total || seen[ev.Seq] {
+			t.Fatalf("seq %d out of range or duplicated", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Kind != "concurrent" {
+			t.Fatalf("unexpected kind %q", ev.Kind)
+		}
+	}
+	// Per-writer emission order is preserved in the stream: for each
+	// writer, the i fields must appear in increasing order of seq.
+	lastI := make(map[int]float64, writers)
+	for seq := int64(1); seq <= total; seq++ {
+		for _, ev := range evs {
+			if ev.Seq != seq {
+				continue
+			}
+			w := int(ev.Fields["writer"].(float64))
+			i := ev.Fields["i"].(float64)
+			if prev, ok := lastI[w]; ok && i <= prev {
+				t.Fatalf("writer %d emitted i=%v after i=%v", w, i, prev)
+			}
+			lastI[w] = i
+		}
+	}
+}
