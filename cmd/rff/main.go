@@ -6,7 +6,8 @@
 //	rff list                                   # list benchmark programs
 //	rff tools [-q] [-json]                     # list registered strategy specs
 //	rff run -prog CS/reorder_100 [-tools rff] [-budget 2000] [-seed 1] [-trials 1]
-//	        [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-races] [-out DIR]
+//	        [-workers N] [-shards N] [-shard-fast] [-trial-timeout DUR]
+//	        [-v] [-minimize] [-races] [-out DIR]
 //	        [-metrics out.json] [-events out.jsonl] [-progress 10s]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
@@ -41,6 +42,7 @@ import (
 	"rff/internal/race"
 	"rff/internal/report"
 	"rff/internal/sched"
+	"rff/internal/shard"
 	"rff/internal/strategy"
 	"rff/internal/systematic"
 	"rff/internal/telemetry"
@@ -236,6 +238,8 @@ func cmdRun(args []string) {
 	outDir := fs.String("out", "", "directory to write crash artifacts to (rff tool only)")
 	races := fs.Bool("races", false, "run the happens-before race detector over every execution (rff tool only)")
 	workers := fs.Int("workers", 0, "run trials concurrently on this many fleet workers; per-trial results are identical at any count (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "shard each rff trial's fuzz loop across this many work-stealing workers; deterministic — results are identical at any shard count, though not to the unsharded loop (0 = unsharded)")
+	shardFast := fs.Bool("shard-fast", false, "drop the sharded runner's deterministic epoch barrier: fastest throughput, nondeterministic results (requires -shards)")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock deadline; a timed-out trial stops within one scheduling step and records an error (0 = none)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
 	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
@@ -286,7 +290,15 @@ func cmdRun(args []string) {
 		os.Exit(1)
 	}
 	defer ts.close()
-	tools, err := strategy.ResolveAll(specs, strategy.Config{Telemetry: ts.sink()})
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "rff: -shards must be >= 0")
+		os.Exit(1)
+	}
+	if *shardFast && *shards < 1 {
+		fmt.Fprintln(os.Stderr, "rff: -shard-fast requires -shards >= 1")
+		os.Exit(1)
+	}
+	tools, err := strategy.ResolveAll(specs, strategy.Config{Telemetry: ts.sink(), Shards: *shards, ShardFast: *shardFast})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
 		os.Exit(1)
@@ -318,13 +330,28 @@ func cmdRun(args []string) {
 			Telemetry: ts.sink(),
 		}
 		if *races {
+			if *shards >= 1 {
+				// The sharded runner recycles traces on its shards before the
+				// barrier, so there is nothing for a TraceObserver to see.
+				fmt.Fprintln(os.Stderr, "rff: -races is incompatible with -shards; run the race detector unsharded")
+				os.Exit(1)
+			}
 			opts.TraceObserver = func(t *exec.Trace) {
 				for _, k := range race.DistinctKeys(race.Detect(t)) {
 					raceKeys[k] = struct{}{}
 				}
 			}
 		}
-		rep := core.NewFuzzer(p.Name, p.Body, opts).RunContext(ctx)
+		var rep *core.Report
+		if *shards >= 1 {
+			rep = shard.FuzzContext(ctx, p.Name, p.Body, shard.Options{
+				Budget: opts.Budget, Seed: opts.Seed, MaxSteps: opts.MaxSteps,
+				StopAtFirstBug: true, Telemetry: ts.sink(),
+				Shards: *shards, Fast: *shardFast,
+			})
+		} else {
+			rep = core.NewFuzzer(p.Name, p.Body, opts).RunContext(ctx)
+		}
 		if *races {
 			defer func() {
 				keys := make([]string, 0, len(raceKeys))

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -497,6 +498,10 @@ func cmdPerf(args []string) {
 	matrixWorkers := fs.String("matrix-workers", "1,2,4,8", "comma-separated worker counts (first is the speedup baseline)")
 	matrixTrials := fs.Int("matrix-trials", 2, "trials per cell of the scaling matrix")
 	matrixBudget := fs.Int("matrix-budget", 300, "schedule budget per trial of the scaling matrix")
+	shardCounts := fs.String("shards", "1,2,4", "comma-separated shard counts for single-campaign shard scaling (first is the speedup baseline; empty = skip)")
+	shardProgs := fs.String("shard-progs", "CS/twostage_20", "comma-separated programs for the shard-scaling curves")
+	shardBudget := fs.Int("shard-budget", 4000, "schedule budget per shard-scaling campaign")
+	shardAssert := fs.Float64("shard-assert-speedup", 0, "fail unless some program reaches this execs/sec speedup at the highest shard count (0 = no assert; skipped on 1 CPU)")
 	pf := addProfileFlags(fs)
 	fs.Parse(args)
 
@@ -527,6 +532,22 @@ func cmdPerf(args []string) {
 		rep.Matrix = perf.MeasureMatrix(tools, ps,
 			*matrixTrials, *matrixBudget, *maxSteps, *seed, counts)
 	}
+	if *shardCounts != "" {
+		var counts []int
+		for _, w := range strings.Split(*shardCounts, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || c <= 0 {
+				fmt.Fprintf(os.Stderr, "rffbench: bad -shards entry %q\n", w)
+				os.Exit(2)
+			}
+			counts = append(counts, c)
+		}
+		for _, n := range strings.Split(*shardProgs, ",") {
+			p := bench.MustGet(strings.TrimSpace(n))
+			rep.Shards = append(rep.Shards,
+				perf.MeasureShards(p, *shardBudget, *maxSteps, *seed, counts, false))
+		}
+	}
 	stopProf()
 
 	fmt.Printf("hot-path throughput (%d schedules each, seed %d):\n", *budget, *seed)
@@ -546,6 +567,33 @@ func cmdPerf(args []string) {
 			os.Exit(1)
 		}
 		fmt.Println("  results bit-identical at every worker count")
+	}
+	bestSpeedup := 0.0
+	for _, sc := range rep.Shards {
+		fmt.Printf("shard scaling: %s (budget %d, %d CPUs):\n", sc.Program, sc.Budget, sc.NumCPU)
+		for _, pt := range sc.Points {
+			fmt.Printf("  %2d shards  %9.0f execs/sec  %5.2fx  %7.1f allocs/exec\n",
+				pt.Shards, pt.ExecsPerSec, pt.Speedup, pt.AllocsPerExec)
+		}
+		if !sc.ResultsIdentical {
+			fmt.Fprintf(os.Stderr, "rffbench: WARNING: %s reports diverged across shard counts\n", sc.Program)
+			os.Exit(1)
+		}
+		fmt.Println("  reports bit-identical at every shard count")
+		if n := len(sc.Points); n > 0 && sc.Points[n-1].Speedup > bestSpeedup {
+			bestSpeedup = sc.Points[n-1].Speedup
+		}
+	}
+	if *shardAssert > 0 && len(rep.Shards) > 0 {
+		if runtime.NumCPU() == 1 {
+			fmt.Println("shard speedup assert skipped: 1 CPU (scaling is not expected)")
+		} else if bestSpeedup < *shardAssert {
+			fmt.Fprintf(os.Stderr, "rffbench: shard scaling below target: best %.2fx at the highest shard count, want >= %.2fx\n",
+				bestSpeedup, *shardAssert)
+			os.Exit(1)
+		} else {
+			fmt.Printf("shard speedup assert passed: %.2fx >= %.2fx\n", bestSpeedup, *shardAssert)
+		}
 	}
 	if *out != "" {
 		if err := rep.WriteJSON(*out); err != nil {

@@ -37,6 +37,7 @@ func run(argv []string) error {
 	maxJobs := fs.Int("max-jobs", 0, "max concurrently running campaigns (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue-cap", 64, "max queued-but-not-running jobs before 503")
 	jobDeadline := fs.Duration("job-deadline", 0, "per-job wall-clock deadline (0 = none)")
+	shards := fs.Int("shards", 0, "default worker-shard count for RFF trials of submissions that leave shards unset; part of the cache key (0 = unsharded)")
 	drainWait := fs.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	eventLog := fs.String("event-log", "", "append daemon events (request log) as JSONL to this file (default stderr)")
 	fs.Parse(argv)
@@ -65,12 +66,13 @@ func run(argv []string) error {
 	defer hub.Events.Flush()
 
 	srv, err := service.New(service.Options{
-		Store:       st,
-		MaxJobs:     *maxJobs,
-		QueueCap:    *queueCap,
-		JobDeadline: *jobDeadline,
-		Telemetry:   hub,
-		Logf:        logger.Printf,
+		Store:         st,
+		MaxJobs:       *maxJobs,
+		QueueCap:      *queueCap,
+		JobDeadline:   *jobDeadline,
+		Telemetry:     hub,
+		DefaultShards: *shards,
+		Logf:          logger.Printf,
 	})
 	if err != nil {
 		return err

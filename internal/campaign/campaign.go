@@ -15,6 +15,7 @@ import (
 	"rff/internal/core"
 	"rff/internal/exec"
 	"rff/internal/fleet"
+	"rff/internal/shard"
 	"rff/internal/stats"
 	"rff/internal/telemetry"
 )
@@ -127,7 +128,22 @@ type RFFTool struct {
 	// through it the execution engine).
 	Telemetry telemetry.Sink
 	// Observer, if non-nil, sees every counted execution's result.
+	// Sharded trials (Shards >= 1) narrow the contract: the observer is
+	// invoked only for counted *failing* executions, with a synthesized
+	// result carrying the program, seed, failure, and replay decisions
+	// but no live trace.
 	Observer ResultObserver
+	// Shards, when >= 1, runs each trial on the sharded work-stealing
+	// runner (internal/shard) with that many worker shards instead of
+	// the sequential fuzzer. The sharded runner is a different — still
+	// fully deterministic — algorithm: its reports are bit-identical
+	// across reruns and shard counts, but not to the sequential loop's.
+	// 0 keeps the sequential fuzzer.
+	Shards int
+	// ShardFast drops the sharded runner's epoch barrier (shard.Options
+	// .Fast): maximum throughput, nondeterministic results. Only
+	// meaningful with Shards >= 1.
+	ShardFast bool
 }
 
 // Name implements Tool.
@@ -151,6 +167,9 @@ func (t RFFTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int,
 // the fuzzer within one scheduling step of the in-flight execution; the
 // interrupted trial records how far it got and an Err.
 func (t RFFTool) runScratch(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64, ws *workerState) Outcome {
+	if t.Shards >= 1 {
+		return t.runSharded(ctx, p, budget, maxSteps, seed)
+	}
 	opts := core.Options{
 		Budget:          budget,
 		MaxSteps:        maxSteps,
@@ -164,6 +183,37 @@ func (t RFFTool) runScratch(ctx context.Context, p bench.Program, budget, maxSte
 		opts.Recycle = ws.recycler
 	}
 	rep := core.NewFuzzer(p.Name, p.Body, opts).RunContext(ctx)
+	out := Outcome{
+		FirstBug:   rep.FirstBug,
+		Executions: rep.Executions,
+		Budget:     budget,
+		CorpusSize: rep.CorpusSize,
+		UniqueSigs: rep.UniqueSigs,
+	}
+	if err := ctx.Err(); err != nil && rep.FirstBug == 0 && rep.Executions < budget {
+		out.Err = fmt.Sprintf("trial aborted after %d schedules: %v", rep.Executions, err)
+	}
+	return out
+}
+
+// runSharded runs the trial on the work-stealing sharded runner. The
+// shard runner owns its own per-shard recyclers, so the fleet worker's
+// scratch recycler is not threaded through.
+func (t RFFTool) runSharded(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome {
+	opts := shard.Options{
+		Budget:          budget,
+		MaxSteps:        maxSteps,
+		Seed:            seed,
+		DisableFeedback: t.NoFeedback,
+		StopAtFirstBug:  true,
+		Telemetry:       t.Telemetry,
+		Shards:          t.Shards,
+		Fast:            t.ShardFast,
+	}
+	if t.Observer != nil {
+		opts.FailureObserver = func(res *exec.Result) { t.Observer(res) }
+	}
+	rep := shard.FuzzContext(ctx, p.Name, p.Body, opts)
 	out := Outcome{
 		FirstBug:   rep.FirstBug,
 		Executions: rep.Executions,

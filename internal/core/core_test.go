@@ -311,14 +311,14 @@ func TestPowerScheduleSkipsOverObserved(t *testing.T) {
 		Write: exec.AbstractEvent{Op: exec.OpWrite, Var: "a", Loc: "h:1"},
 		Read:  exec.AbstractEvent{Op: exec.OpRead, Var: "a", Loc: "h:2"},
 	})
-	if !corpus.Add(&hot) {
+	if _, added := corpus.Add(&hot); !added {
 		t.Fatal("add hot")
 	}
 	cold.Schedule = core.NewSchedule(core.Constraint{
 		Write: exec.AbstractEvent{Op: exec.OpWrite, Var: "a", Loc: "c:1"},
 		Read:  exec.AbstractEvent{Op: exec.OpRead, Var: "a", Loc: "c:2"},
 	})
-	if !corpus.Add(&cold) {
+	if _, added := corpus.Add(&cold); !added {
 		t.Fatal("add cold")
 	}
 
@@ -348,18 +348,18 @@ func TestCorpusDeduplicates(t *testing.T) {
 	if corpus.Len() != 1 { // seeded with ε
 		t.Fatalf("want seeded corpus, len=%d", corpus.Len())
 	}
-	if corpus.Add(&core.Entry{Schedule: core.EmptySchedule()}) {
-		t.Fatal("duplicate ε must be rejected")
+	if idx, added := corpus.Add(&core.Entry{Schedule: core.EmptySchedule()}); added || idx != 0 {
+		t.Fatalf("duplicate ε must be rejected with its original index, got (%d, %v)", idx, added)
 	}
 	c := core.Constraint{
 		Write: exec.AbstractEvent{Op: exec.OpWrite, Var: "a", Loc: "x:1"},
 		Read:  exec.AbstractEvent{Op: exec.OpRead, Var: "a", Loc: "x:2"},
 	}
-	if !corpus.Add(&core.Entry{Schedule: core.NewSchedule(c)}) {
-		t.Fatal("fresh schedule must be accepted")
+	if idx, added := corpus.Add(&core.Entry{Schedule: core.NewSchedule(c)}); !added || idx != 1 {
+		t.Fatalf("fresh schedule must be accepted at index 1, got (%d, %v)", idx, added)
 	}
-	if corpus.Add(&core.Entry{Schedule: core.NewSchedule(c)}) {
-		t.Fatal("duplicate schedule must be rejected")
+	if idx, added := corpus.Add(&core.Entry{Schedule: core.NewSchedule(c)}); added || idx != 1 {
+		t.Fatalf("duplicate schedule must be rejected with index 1, got (%d, %v)", idx, added)
 	}
 	// Round-robin cycles.
 	a := corpus.PickNext()

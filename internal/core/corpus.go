@@ -23,13 +23,13 @@ type Entry struct {
 type Corpus struct {
 	entries []*Entry
 	next    int
-	keys    map[string]struct{} // canonical schedule keys, to avoid duplicates
+	keys    map[string]int // canonical schedule key -> insertion index
 }
 
 // NewCorpus returns a corpus seeded with the given schedules (Algorithm
 // 1's S_init; the empty schedule when none are given).
 func NewCorpus(seed ...Schedule) *Corpus {
-	c := &Corpus{keys: make(map[string]struct{})}
+	c := &Corpus{keys: make(map[string]int)}
 	if len(seed) == 0 {
 		seed = []Schedule{EmptySchedule()}
 	}
@@ -40,18 +40,42 @@ func NewCorpus(seed ...Schedule) *Corpus {
 }
 
 // Add appends an entry unless an identical schedule is already present.
-// Reports whether the entry was added.
-func (c *Corpus) Add(e *Entry) bool {
+// It returns the entry's stable insertion index — the position of the
+// (new or pre-existing) entry holding that schedule — and whether the
+// entry was added. The index is stable because the corpus only ever
+// appends: merge and replication logic can key on it without depending
+// on map iteration order.
+func (c *Corpus) Add(e *Entry) (index int, added bool) {
 	k := e.Schedule.Key()
-	if _, dup := c.keys[k]; dup {
-		return false
+	if i, dup := c.keys[k]; dup {
+		return i, false
 	}
-	c.keys[k] = struct{}{}
 	if e.Perf < 1 {
 		e.Perf = 1
 	}
+	index = len(c.entries)
+	c.keys[k] = index
 	c.entries = append(c.entries, e)
-	return true
+	return index, true
+}
+
+// Merge folds other's entries into c in other's insertion order,
+// skipping schedules already present; it returns the number of entries
+// added. Entries are inserted as copies with a reset exponential ramp
+// (ChosenSince), so power-schedule bookkeeping on the merged corpus
+// never aliases the source corpus. Iterating the insertion-ordered
+// entry slice — never a map — keeps the merged order, and therefore
+// every later round-robin pick, deterministic.
+func (c *Corpus) Merge(other *Corpus) int {
+	added := 0
+	for _, e := range other.entries {
+		cp := *e
+		cp.ChosenSince = 0
+		if _, ok := c.Add(&cp); ok {
+			added++
+		}
+	}
+	return added
 }
 
 // Len returns the corpus size.

@@ -18,6 +18,7 @@ type Feedback struct {
 	// executions run with exec.Config.Intern set).
 	intern    *exec.InternTable
 	pairCount map[exec.PairID]int
+	pairOrder []exec.PairID // first-observation order, for deterministic merges
 	sigCount  map[uint64]int
 	sigOrder  []uint64 // first-observation order, for deterministic reports
 }
@@ -31,6 +32,7 @@ const feedbackSizeHint = 128
 func NewFeedback() *Feedback {
 	return &Feedback{
 		pairCount: make(map[exec.PairID]int, feedbackSizeHint),
+		pairOrder: make([]exec.PairID, 0, feedbackSizeHint),
 		sigCount:  make(map[uint64]int, feedbackSizeHint),
 		sigOrder:  make([]uint64, 0, feedbackSizeHint),
 	}
@@ -58,30 +60,76 @@ func (f *Feedback) Observe(t *exec.Trace) Observation {
 	var obs Observation
 	if s.Table == f.intern {
 		for _, pid := range s.PairIDs {
-			if f.pairCount[pid] == 0 {
-				obs.NewPairs++
-			}
-			f.pairCount[pid]++
+			f.countPair(pid, &obs)
 		}
 	} else {
 		// The trace was summarized against a foreign table (an execution
 		// run without the campaign's shared Config.Intern): re-intern its
 		// pairs so the IDs stay comparable. Slow path, correctness only.
 		for _, p := range s.Pairs {
-			pid := exec.MakePairID(f.intern.Intern(p.Write), f.intern.Intern(p.Read))
-			if f.pairCount[pid] == 0 {
-				obs.NewPairs++
-			}
-			f.pairCount[pid]++
+			f.countPair(exec.MakePairID(f.intern.Intern(p.Write), f.intern.Intern(p.Read)), &obs)
 		}
 	}
-	obs.Sig = s.Sig
-	if f.sigCount[obs.Sig] == 0 {
-		obs.NewSig = true
-		f.sigOrder = append(f.sigOrder, obs.Sig)
-	}
-	f.sigCount[obs.Sig]++
+	f.countSig(s.Sig, &obs)
 	return obs
+}
+
+// ObserveIDs folds one execution's pre-interned summary — its PairIDs
+// and signature — into the feedback state, exactly as Observe would
+// have from the live trace. This is the sharded campaign's merge-fold
+// entry point: the trace itself was summarized (and its buffers
+// recycled) on a shard, and its shard-local IDs were remapped into the
+// table this feedback keys on before the call.
+func (f *Feedback) ObserveIDs(pairIDs []exec.PairID, sig uint64) Observation {
+	var obs Observation
+	for _, pid := range pairIDs {
+		f.countPair(pid, &obs)
+	}
+	f.countSig(sig, &obs)
+	return obs
+}
+
+// countPair folds one pair observation into the state.
+func (f *Feedback) countPair(pid exec.PairID, obs *Observation) {
+	if f.pairCount[pid] == 0 {
+		obs.NewPairs++
+		f.pairOrder = append(f.pairOrder, pid)
+	}
+	f.pairCount[pid]++
+}
+
+// countSig folds one signature observation into the state.
+func (f *Feedback) countSig(sig uint64, obs *Observation) {
+	obs.Sig = sig
+	if f.sigCount[sig] == 0 {
+		obs.NewSig = true
+		f.sigOrder = append(f.sigOrder, sig)
+	}
+	f.sigCount[sig]++
+}
+
+// Merge folds other's pair and signature counts into f, translating
+// other's PairIDs through remap (nil = the tables are already shared).
+// Both first-observation orders are extended in other's insertion order
+// — never map iteration order — so merging the same feedback states in
+// the same order always yields identical SigFrequencies series.
+func (f *Feedback) Merge(other *Feedback, remap func(exec.PairID) exec.PairID) {
+	for _, pid := range other.pairOrder {
+		mapped := pid
+		if remap != nil {
+			mapped = remap(pid)
+		}
+		if f.pairCount[mapped] == 0 {
+			f.pairOrder = append(f.pairOrder, mapped)
+		}
+		f.pairCount[mapped] += other.pairCount[pid]
+	}
+	for _, sig := range other.sigOrder {
+		if f.sigCount[sig] == 0 {
+			f.sigOrder = append(f.sigOrder, sig)
+		}
+		f.sigCount[sig] += other.sigCount[sig]
+	}
 }
 
 // Interesting implements isInteresting(σmut, S): true when the execution

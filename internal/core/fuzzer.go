@@ -126,6 +126,17 @@ type Fuzzer struct {
 
 	tel    telemetry.Sink
 	labels []telemetry.Label // {program: name}, reused across calls
+
+	// Incremental-run state: the fuzzing loop is resumable in slices of
+	// N executions (RunN), so a sharded or quota-driven driver can
+	// interleave several campaigns' stages. rep accumulates across
+	// calls; curEntry/energyLeft carry the in-progress fuzzing stage
+	// over a RunN boundary, keeping any chunking of the budget
+	// bit-identical to one uninterrupted Run.
+	rep        *Report
+	curEntry   *Entry
+	energyLeft int
+	stopped    bool // StopAtFirstBug tripped
 }
 
 // NewFuzzer builds a campaign for the program with the given options.
@@ -164,32 +175,77 @@ func (f *Fuzzer) Run() *Report { return f.RunContext(context.Background()) }
 // so an interrupted campaign's report is a prefix of the uninterrupted
 // one.
 func (f *Fuzzer) RunContext(ctx context.Context) *Report {
-	rep := &Report{Program: f.name}
-	for rep.Executions < f.opts.Budget {
+	for !f.Done() && ctx.Err() == nil {
+		// Any chunk size gives the same results; 64 keeps the
+		// cancellation poll of the chunk loop reasonably fresh.
+		f.RunN(ctx, 64)
+	}
+	return f.Finish()
+}
+
+// report returns the campaign's accumulating report, creating it on
+// first use.
+func (f *Fuzzer) report() *Report {
+	if f.rep == nil {
+		f.rep = &Report{Program: f.name}
+	}
+	return f.rep
+}
+
+// Done reports whether the campaign is over: the budget is exhausted or
+// StopAtFirstBug ended it.
+func (f *Fuzzer) Done() bool {
+	return f.stopped || f.report().Executions >= f.opts.Budget
+}
+
+// RunN advances the campaign by up to n counted executions and returns
+// how many actually ran. It is the resumable core of the fuzzing loop:
+// an in-progress fuzzing stage (picked entry plus remaining energy)
+// survives across calls, so splitting the budget into RunN slices of
+// any size reproduces Run's results bit for bit. RunN returns early —
+// possibly with 0 executions — when the campaign is Done or ctx is
+// cancelled; the cancelled partial execution is discarded as in
+// RunContext.
+func (f *Fuzzer) RunN(ctx context.Context, n int) int {
+	rep := f.report()
+	executed := 0
+	for executed < n && !f.Done() {
 		if ctx.Err() != nil {
-			break
+			return executed
 		}
-		entry := f.corpus.PickNext()
-		energy := 1
-		if !f.opts.DisableFeedback {
-			energy = f.corpus.Energy(entry, f.fb, f.opts.Power)
-		}
-		if t := f.tel; t != nil {
-			// Bucket 0 counts skipped stages (energy 0).
-			t.Observe(telemetry.MEnergyAssigned, int64(energy), f.labels...)
-		}
-		for i := 0; i < energy && rep.Executions < f.opts.Budget; i++ {
-			crashed, cancelled := f.fuzzOne(ctx, entry, rep)
-			if cancelled {
-				f.finish(rep)
-				return rep
+		if f.energyLeft <= 0 {
+			entry := f.corpus.PickNext()
+			energy := 1
+			if !f.opts.DisableFeedback {
+				energy = f.corpus.Energy(entry, f.fb, f.opts.Power)
 			}
-			if crashed && f.opts.StopAtFirstBug {
-				f.finish(rep)
-				return rep
+			if t := f.tel; t != nil {
+				// Bucket 0 counts skipped stages (energy 0).
+				t.Observe(telemetry.MEnergyAssigned, int64(energy), f.labels...)
 			}
+			// Zero energy skips the stage: loop around to the next pick,
+			// exactly like the sequential loop's empty inner stage.
+			f.curEntry, f.energyLeft = entry, energy
+			continue
+		}
+		f.energyLeft--
+		crashed, cancelled := f.fuzzOne(ctx, f.curEntry, rep)
+		if cancelled {
+			return executed
+		}
+		executed++
+		if crashed && f.opts.StopAtFirstBug {
+			f.stopped = true
 		}
 	}
+	return executed
+}
+
+// Finish finalizes the report with the current feedback statistics and
+// returns it. It may be called repeatedly; later executions refresh the
+// statistics on the same report.
+func (f *Fuzzer) Finish() *Report {
+	rep := f.report()
 	f.finish(rep)
 	return rep
 }
@@ -281,7 +337,7 @@ func (f *Fuzzer) fuzzOne(ctx context.Context, entry *Entry, rep *Report) (crashe
 		}
 	}
 	if !f.opts.DisableFeedback && f.fb.Interesting(obs, crashed) {
-		if f.corpus.Add(&Entry{Schedule: mut, Sig: obs.Sig, Perf: obs.NewPairs}) {
+		if _, added := f.corpus.Add(&Entry{Schedule: mut, Sig: obs.Sig, Perf: obs.NewPairs}); added {
 			if t := f.tel; t != nil {
 				t.Add(telemetry.MCorpusAdds, 1, f.labels...)
 				t.Set(telemetry.MCorpusSize, int64(f.corpus.Len()), f.labels...)
@@ -332,3 +388,9 @@ func (f *Fuzzer) Corpus() *Corpus { return f.corpus }
 
 // Pool exposes the campaign's event pool (read-only use).
 func (f *Fuzzer) Pool() *EventPool { return f.pool }
+
+// Intern exposes the campaign's abstract-event intern table — the table
+// the feedback state's PairIDs resolve through. A cross-campaign merge
+// (the sharded runner's fast mode) remaps through it into a global
+// table.
+func (f *Fuzzer) Intern() *exec.InternTable { return f.intern }

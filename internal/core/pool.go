@@ -59,6 +59,12 @@ func (p *EventPool) AddTrace(t *exec.Trace) {
 	}
 }
 
+// AddEvent folds one already-interned abstract event into the pool —
+// the sharded campaign's merge path, where events arrive remapped into
+// the campaign-global table instead of via a live trace summary. The id
+// must resolve to ae in the table the pool's other ids came from.
+func (p *EventPool) AddEvent(id exec.EventID, ae exec.AbstractEvent) { p.add(id, ae) }
+
 func (p *EventPool) add(id exec.EventID, ae exec.AbstractEvent) {
 	if _, dup := p.seen[id]; dup {
 		return

@@ -1,0 +1,51 @@
+package exec
+
+// Remapper translates EventIDs assigned by one InternTable into the IDs
+// of another, preserving abstract-event identity: two IDs that name the
+// same AbstractEvent in the source table remap to one ID in the
+// destination. The sharded campaign runner uses one Remapper per shard
+// to fold shard-locally interned summaries into the campaign-global
+// table at epoch merges.
+//
+// Translations are cached in a dense array indexed by source ID, so the
+// steady-state remap of a hot event is one bounds check and one load.
+// A Remapper is NOT safe for concurrent use — the merge barrier owns it.
+type Remapper struct {
+	from, to *InternTable
+	// cache[src] holds dst+1 (0 = not yet translated; EventID 0 is a
+	// valid destination ID, so the slot is offset by one).
+	cache []EventID
+}
+
+// NewRemapper returns a remapper translating from's IDs into to's.
+func NewRemapper(from, to *InternTable) *Remapper {
+	if from == nil || to == nil {
+		panic("exec.NewRemapper: nil table")
+	}
+	return &Remapper{from: from, to: to}
+}
+
+// Remap translates one source EventID, interning the underlying abstract
+// event into the destination table on first sight. It panics on IDs the
+// source table never assigned (as InternTable.Event does).
+func (r *Remapper) Remap(id EventID) EventID {
+	if int(id) < len(r.cache) {
+		if v := r.cache[id]; v != 0 {
+			return v - 1
+		}
+	} else {
+		grown := make([]EventID, int(id)+1)
+		copy(grown, r.cache)
+		r.cache = grown
+	}
+	dst := r.to.Intern(r.from.Event(id))
+	r.cache[id] = dst + 1
+	return dst
+}
+
+// RemapPair translates a packed reads-from PairID: the write and read
+// halves are remapped independently, so the result identifies the same
+// abstract (write, read) pair in the destination table.
+func (r *Remapper) RemapPair(pid PairID) PairID {
+	return MakePairID(r.Remap(pid.WriteID()), r.Remap(pid.ReadID()))
+}

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randAbstract draws a small random abstract event; the narrow value
+// space forces heavy overlap between independently built tables.
+func randAbstract(rng *rand.Rand) AbstractEvent {
+	ops := []Op{OpRead, OpWrite, OpLock, OpUnlock}
+	vars := []string{"x", "y", "z", "m"}
+	locs := []string{"a.go:1", "a.go:2", "b.go:7", "c.go:9"}
+	return AbstractEvent{
+		Op:  ops[rng.Intn(len(ops))],
+		Var: vars[rng.Intn(len(vars))],
+		Loc: locs[rng.Intn(len(locs))],
+	}
+}
+
+// TestRemapperPreservesEventIdentity checks the Remapper contract on two
+// independently built tables: source IDs naming equal abstract events
+// remap to one destination ID, and unequal events stay apart.
+func TestRemapperPreservesEventIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, global := NewInternTable(), NewInternTable(), NewInternTable()
+
+	// Intern overlapping event streams in different orders so a and b
+	// disagree about nearly every dense ID.
+	var aIDs, bIDs []EventID
+	for i := 0; i < 200; i++ {
+		aIDs = append(aIDs, a.Intern(randAbstract(rng)))
+		bIDs = append(bIDs, b.Intern(randAbstract(rng)))
+	}
+
+	ra, rb := NewRemapper(a, global), NewRemapper(b, global)
+	for _, ida := range aIDs {
+		for _, idb := range bIDs {
+			ga, gb := ra.Remap(ida), rb.Remap(idb)
+			same := a.Event(ida) == b.Event(idb)
+			if same != (ga == gb) {
+				t.Fatalf("remap broke identity: a[%d]=%v -> %d, b[%d]=%v -> %d",
+					ida, a.Event(ida), ga, idb, b.Event(idb), gb)
+			}
+			if global.Event(ga) != a.Event(ida) {
+				t.Fatalf("global table resolves %d to %v, want %v", ga, global.Event(ga), a.Event(ida))
+			}
+		}
+	}
+}
+
+// TestRemapperPreservesPairIdentity is the satellite property test:
+// PairIDs built against two independently grown tables remap to equal
+// global PairIDs exactly when they denote the same abstract reads-from
+// pair — so cross-shard feedback folding cannot conflate or split pairs.
+func TestRemapperPreservesPairIdentity(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(trial))
+		a, b, global := NewInternTable(), NewInternTable(), NewInternTable()
+
+		makePairs := func(tbl *InternTable) []PairID {
+			var out []PairID
+			for i := 0; i < 64; i++ {
+				w := tbl.Intern(randAbstract(rng))
+				r := tbl.Intern(randAbstract(rng))
+				out = append(out, MakePairID(w, r))
+			}
+			return out
+		}
+		pa, pb := makePairs(a), makePairs(b)
+
+		ra, rb := NewRemapper(a, global), NewRemapper(b, global)
+		for _, x := range pa {
+			for _, y := range pb {
+				gx, gy := ra.RemapPair(x), rb.RemapPair(y)
+				same := a.Pair(x) == b.Pair(y)
+				if same != (gx == gy) {
+					t.Fatalf("seed %d: pair identity broken: %v -> %d vs %v -> %d",
+						trial, a.Pair(x), gx, b.Pair(y), gy)
+				}
+				if global.Pair(gx) != a.Pair(x) {
+					t.Fatalf("seed %d: global pair %d resolves to %v, want %v",
+						trial, gx, global.Pair(gx), a.Pair(x))
+				}
+			}
+		}
+	}
+}
+
+// TestRemapperIdentityOnSameTable: remapping a table into a fresh table
+// in ID order is the identity mapping — first-intern order is preserved.
+func TestRemapperIdentityOnSameTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, dst := NewInternTable(), NewInternTable()
+	for i := 0; i < 100; i++ {
+		src.Intern(randAbstract(rng))
+	}
+	r := NewRemapper(src, dst)
+	for id := 0; id < src.Len(); id++ {
+		if got := r.Remap(EventID(id)); got != EventID(id) {
+			t.Fatalf("in-order remap of %d gave %d", id, got)
+		}
+	}
+	// Cached second pass must agree.
+	for id := 0; id < src.Len(); id++ {
+		if got := r.Remap(EventID(id)); got != EventID(id) {
+			t.Fatalf("cached remap of %d gave %d", id, got)
+		}
+	}
+}

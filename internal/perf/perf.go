@@ -51,6 +51,9 @@ type Report struct {
 	// Matrix, when present, is the fleet-orchestration scaling record:
 	// the same evaluation matrix timed at several worker counts.
 	Matrix *MatrixPerf `json:"matrix,omitempty"`
+	// Shards, when present, records single-campaign shard scaling: one
+	// curve per program, execs/sec at several shard counts.
+	Shards []*ShardScaling `json:"shards,omitempty"`
 }
 
 // MatrixPoint is one worker count's measurement of the matrix.
@@ -61,6 +64,11 @@ type MatrixPoint struct {
 	// convention is to measure 1 worker first, making this speedup over
 	// sequential).
 	Speedup float64 `json:"speedup"`
+	// AllocsPerExec and BytesPerExec are heap-allocation deltas across
+	// the whole matrix run divided by its counted executions — the
+	// worker-scaling analogue of ProgramResult's per-schedule numbers.
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	BytesPerExec  float64 `json:"bytes_per_exec"`
 }
 
 // MatrixPerf records how matrix wall-clock scales with fleet workers on
@@ -104,6 +112,9 @@ func MeasureMatrix(tools []campaign.Tool, progs []bench.Program, trials, budget,
 	}
 	var baseline []byte
 	for _, w := range workerCounts {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		m := campaign.RunMatrix(tools, progs, campaign.MatrixOptions{
 			Trials:   trials,
@@ -113,7 +124,20 @@ func MeasureMatrix(tools []campaign.Tool, progs []bench.Program, trials, budget,
 			Workers:  w,
 		})
 		wall := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
 		pt := MatrixPoint{Workers: w, WallNS: wall, Speedup: 1}
+		execs := 0
+		for _, progOuts := range m.Outcomes {
+			for _, outs := range progOuts {
+				for _, o := range outs {
+					execs += o.Executions
+				}
+			}
+		}
+		if execs > 0 {
+			pt.AllocsPerExec = float64(after.Mallocs-before.Mallocs) / float64(execs)
+			pt.BytesPerExec = float64(after.TotalAlloc-before.TotalAlloc) / float64(execs)
+		}
 		data, err := json.Marshal(m)
 		if err != nil {
 			data = nil

@@ -33,6 +33,8 @@ const (
 	MaxTrials = 1000
 	// MaxProgenCount bounds generated programs per campaign.
 	MaxProgenCount = 64
+	// MaxShards bounds worker shards per RFF trial.
+	MaxShards = 64
 )
 
 // CampaignRequest is the submission body of POST /v1/campaigns: which
@@ -65,6 +67,12 @@ type CampaignRequest struct {
 	// bit-identical at any worker count, so Workers is an execution
 	// hint: it is excluded from the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Shards, when >= 1, runs RFF trials on the sharded work-stealing
+	// runner with that many worker shards. Unlike Workers, Shards is NOT
+	// an execution hint: the sharded runner is a distinct (still
+	// deterministic) algorithm whose reports differ from the sequential
+	// loop's, so Shards stays in the cache key.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Canonicalize validates the request at the API boundary and returns
@@ -133,6 +141,9 @@ func (r CampaignRequest) Canonicalize() (CampaignRequest, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("workers must be non-negative")
+	}
+	if c.Shards < 0 || c.Shards > MaxShards {
+		return c, fmt.Errorf("shards %d out of range [0, %d]", c.Shards, MaxShards)
 	}
 	return c, nil
 }

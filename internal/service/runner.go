@@ -63,6 +63,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) (*store.Entry, error) {
 		tl, err := strategy.Resolve(spec, strategy.Config{
 			Telemetry: sink,
 			Observer:  col.observe,
+			Shards:    req.Shards,
 		})
 		if err != nil {
 			return nil, err

@@ -27,6 +27,12 @@ type Options struct {
 	// Telemetry, if non-nil, receives daemon-level metrics and the
 	// structured request log (http-request events).
 	Telemetry telemetry.Sink
+	// DefaultShards, when >= 1, fills CampaignRequest.Shards for
+	// submissions that leave it unset, before canonicalization — so the
+	// default participates in the cache key exactly like an explicit
+	// value, and flipping the daemon default never serves results
+	// computed by the other algorithm.
+	DefaultShards int
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -175,6 +181,9 @@ func (s *Server) execute(j *Job) {
 // done with the stored result and CacheHit set, its event stream
 // carrying job-cached + job-done so SSE consumers see a terminal event.
 func (s *Server) Submit(req CampaignRequest) (*Job, error) {
+	if req.Shards == 0 {
+		req.Shards = s.opts.DefaultShards
+	}
 	canonReq, err := req.Canonicalize()
 	if err != nil {
 		return nil, &RequestError{err}

@@ -1,0 +1,100 @@
+// Package shard executes one fuzzing campaign across W worker shards:
+// work-stealing batch execution on the hot path, with zero cross-shard
+// locking, punctuated by deterministic epoch merge barriers that fold
+// shard-local observations back into campaign-global state. See
+// DESIGN.md §13 for the full architecture and determinism contract.
+package shard
+
+import "sync/atomic"
+
+// Deque is a Chase-Lev work-stealing deque of batch indices. The owner
+// shard pushes and pops at the bottom; idle shards steal from the top
+// with a CAS. The implementation follows Chase & Lev, "Dynamic Circular
+// Work-Stealing Deque" (SPAA '05), with the simplification that all
+// pushes happen before the epoch's workers start (the coordinator plans
+// every batch up front), so Push never races with Steal and the buffer
+// never needs to grow concurrently.
+//
+// Values are non-negative batch indices; Pop and Steal return -1 when
+// the deque is empty (or the race for the last element was lost).
+type Deque struct {
+	top    atomic.Int64 // next index thieves steal from
+	bottom atomic.Int64 // next index the owner pushes to
+	buf    []atomic.Int64
+}
+
+// NewDeque returns a deque with capacity for n values.
+func NewDeque(n int) *Deque {
+	if n < 1 {
+		n = 1
+	}
+	return &Deque{buf: make([]atomic.Int64, n)}
+}
+
+// reset empties the deque for reuse, keeping its buffer. Must not be
+// called while workers run.
+func (d *Deque) reset() {
+	d.top.Store(0)
+	d.bottom.Store(0)
+}
+
+// Push appends v at the bottom. Owner-only; in the epoch protocol all
+// pushes happen on the coordinator before workers spawn, so Push never
+// runs concurrently with Pop or Steal and must not be called once they
+// do.
+func (d *Deque) Push(v int) {
+	b := d.bottom.Load()
+	if int(b-d.top.Load()) >= len(d.buf) {
+		panic("shard.Deque: push past capacity")
+	}
+	d.buf[int(b)%len(d.buf)].Store(int64(v))
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed value, or -1 when
+// the deque is empty. Owner-only: at most one goroutine may Pop, but
+// Pop runs concurrently with any number of Steals.
+func (d *Deque) Pop() int {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b) // claim the bottom slot before reading top
+	t := d.top.Load()
+	if b < t {
+		// Empty: undo the claim.
+		d.bottom.Store(t)
+		return -1
+	}
+	v := d.buf[int(b)%len(d.buf)].Load()
+	if b > t {
+		return int(v) // more than one element: no race possible
+	}
+	// Last element: race thieves for it via top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		v = -1 // a thief won
+	}
+	d.bottom.Store(t + 1)
+	return int(v)
+}
+
+// Steal removes and returns the oldest value, or -1 when the deque is
+// empty or the CAS race was lost (callers should try another victim).
+// Safe for any number of concurrent thieves alongside the owner's Pop.
+func (d *Deque) Steal() int {
+	t := d.top.Load()
+	if d.bottom.Load() <= t {
+		return -1
+	}
+	v := d.buf[int(t)%len(d.buf)].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return -1
+	}
+	return int(v)
+}
+
+// Len returns a point-in-time element count (diagnostics only).
+func (d *Deque) Len() int {
+	n := int(d.bottom.Load() - d.top.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}

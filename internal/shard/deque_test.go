@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	d := NewDeque(8)
+	for i := 0; i < 4; i++ {
+		d.Push(i)
+	}
+	if got := d.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if v := d.Steal(); v != 0 {
+		t.Fatalf("first steal = %d, want oldest (0)", v)
+	}
+	if v := d.Pop(); v != 3 {
+		t.Fatalf("first pop = %d, want newest (3)", v)
+	}
+	if v := d.Steal(); v != 1 {
+		t.Fatalf("second steal = %d, want 1", v)
+	}
+	if v := d.Pop(); v != 2 {
+		t.Fatalf("second pop = %d, want 2", v)
+	}
+	if v := d.Pop(); v != -1 {
+		t.Fatalf("pop on empty = %d, want -1", v)
+	}
+	if v := d.Steal(); v != -1 {
+		t.Fatalf("steal on empty = %d, want -1", v)
+	}
+}
+
+func TestDequeReuseAfterReset(t *testing.T) {
+	d := NewDeque(4)
+	for i := 0; i < 4; i++ {
+		d.Push(i)
+	}
+	for d.Pop() >= 0 {
+	}
+	d.reset()
+	d.Push(7)
+	if v := d.Steal(); v != 7 {
+		t.Fatalf("steal after reset = %d, want 7", v)
+	}
+}
+
+// TestDequeConcurrentClaims hammers one owner popping against several
+// thieves stealing: every pushed value must be claimed exactly once.
+// Run under -race this doubles as the memory-model check.
+func TestDequeConcurrentClaims(t *testing.T) {
+	const n = 4096
+	const thieves = 4
+	d := NewDeque(n)
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	claimed := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	wg.Add(1 + thieves)
+	go func() { // owner
+		defer wg.Done()
+		for {
+			v := d.Pop()
+			if v < 0 {
+				if d.Len() == 0 {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			claimed[v].Add(1)
+		}
+	}()
+	for i := 0; i < thieves; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				v := d.Steal()
+				if v < 0 {
+					if d.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				claimed[v].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range claimed {
+		if c := claimed[i].Load(); c != 1 {
+			t.Fatalf("value %d claimed %d times, want exactly once", i, c)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/telemetry"
+)
+
+// fuzzFast is the -fast relaxation: no epoch barrier. Every shard runs
+// a fully independent core.Fuzzer (own corpus, feedback, pool, intern
+// table, RNG stream), consuming the shared budget in batch-sized quotas
+// stolen from the same deques the deterministic mode uses; the states
+// merge exactly once, at the end, in shard order. Throughput approaches
+// W independent campaigns — there is no synchronization between
+// executions at all — but the split of the budget across shards depends
+// on runtime interleaving, so the merged report is NOT stable across
+// reruns or shard counts.
+func fuzzFast(ctx context.Context, name string, prog exec.Program, opts Options) *core.Report {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	w := opts.Shards
+	fuzzers := make([]*core.Fuzzer, w)
+	var obsMu sync.Mutex
+	for i := 0; i < w; i++ {
+		copts := core.Options{
+			// The shared budget is a cap, not a per-shard allowance: the
+			// quota deques meter actual consumption.
+			Budget:           opts.Budget,
+			MaxSteps:         opts.MaxSteps,
+			Seed:             mixSeed(opts.Seed, -1-i),
+			Power:            opts.Power,
+			Mutator:          opts.Mutator,
+			DisableFeedback:  opts.DisableFeedback,
+			DisableProactive: opts.DisableProactive,
+			StopAtFirstBug:   opts.StopAtFirstBug,
+			InitialCorpus:    opts.InitialCorpus,
+			Telemetry:        opts.Telemetry,
+		}
+		if opts.FailureObserver != nil {
+			// Narrow the per-execution hook to failures and serialize it:
+			// the observer was written for a single-threaded campaign.
+			fo := opts.FailureObserver
+			copts.ResultObserver = func(res *exec.Result) {
+				if res.Failure == nil {
+					return
+				}
+				obsMu.Lock()
+				fo(res)
+				obsMu.Unlock()
+			}
+		}
+		fuzzers[i] = core.NewFuzzer(name, prog, copts)
+	}
+
+	// Budget quotas: batch b grants min(Batch, Budget-b*Batch) counted
+	// executions to whichever shard claims it.
+	nb := (opts.Budget + opts.Batch - 1) / opts.Batch
+	deques := make([]*Deque, w)
+	for i := range deques {
+		deques[i] = NewDeque(nb)
+	}
+	for b := 0; b < nb; b++ {
+		deques[b%w].Push(b)
+	}
+
+	start := time.Now()
+	steals := make([]int64, w)
+	busy := make([]time.Duration, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fz := fuzzers[id]
+			t0 := time.Now()
+			defer func() { busy[id] = time.Since(t0) }()
+			for !fz.Done() && ctx.Err() == nil {
+				b := deques[id].Pop()
+				if b < 0 {
+					for i := 1; i < w && b < 0; i++ {
+						b = deques[(id+i)%w].Steal()
+					}
+					if b < 0 {
+						return // all quotas claimed
+					}
+					steals[id]++
+				}
+				quota := min(opts.Batch, opts.Budget-b*opts.Batch)
+				fz.RunN(ctx, quota)
+			}
+			if fz.Done() && opts.StopAtFirstBug && fz.Finish().FirstBug > 0 {
+				cancel() // first bug anywhere ends every shard
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Final merge, in shard order: shard corpora and feedback fold into
+	// fresh global state, with shard-local pair IDs remapped through a
+	// campaign-global intern table.
+	rep := &core.Report{Program: name}
+	corpus := core.NewCorpus(opts.InitialCorpus...)
+	fb := core.NewFeedback()
+	intern := exec.NewInternTable()
+	failSeen := make(map[string]bool)
+	for i, fz := range fuzzers {
+		lrep := fz.Finish()
+		rep.Executions += lrep.Executions
+		// FirstBug in fast mode is the best (lowest) shard-local count —
+		// a lower bound on "schedules to first bug", reported because the
+		// true interleaved count is not well-defined without a barrier.
+		if lrep.FirstBug > 0 && (rep.FirstBug == 0 || lrep.FirstBug < rep.FirstBug) {
+			rep.FirstBug = lrep.FirstBug
+		}
+		for _, fr := range lrep.Failures {
+			if k := failKey(fr.Failure); !failSeen[k] {
+				failSeen[k] = true
+				rep.Failures = append(rep.Failures, fr)
+			}
+		}
+		corpus.Merge(fz.Corpus())
+		rm := exec.NewRemapper(fz.Intern(), intern)
+		fb.Merge(fz.Feedback(), rm.RemapPair)
+		if t := opts.Telemetry; t != nil {
+			labels := []telemetry.Label{telemetry.L("program", name), telemetry.L("shard", strconv.Itoa(i))}
+			t.Add(telemetry.MShardExecs, int64(lrep.Executions), labels...)
+			if steals[i] > 0 {
+				t.Add(telemetry.MShardSteals, steals[i], labels...)
+			}
+		}
+	}
+	rep.CorpusSize = corpus.Len()
+	rep.UniquePairs = fb.UniquePairs()
+	rep.UniqueSigs = fb.UniqueSigs()
+	rep.SigFrequencies = fb.SigFrequencies()
+	if t := opts.Telemetry; t != nil {
+		if wall := time.Since(start); wall > 0 {
+			var total time.Duration
+			for _, d := range busy {
+				total += d
+			}
+			pct := int64(total * 100 / (wall * time.Duration(w)))
+			t.Set(telemetry.MShardUtilization, min(pct, 100), telemetry.L("program", name))
+		}
+	}
+	return rep
+}

@@ -36,6 +36,8 @@ func init() {
 				NoFeedback: len(sp.Args) == 1,
 				Telemetry:  cfg.Telemetry,
 				Observer:   cfg.Observer,
+				Shards:     cfg.Shards,
+				ShardFast:  cfg.ShardFast,
 			}, nil
 		},
 	})

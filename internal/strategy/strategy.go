@@ -123,6 +123,15 @@ type Config struct {
 	TrialTimeout time.Duration
 	// Progress, if non-nil, is called after each completed trial.
 	Progress func(done, total int)
+	// Shards, when >= 1, runs RFF trials on the sharded work-stealing
+	// runner with that many worker shards (campaign.RFFTool.Shards).
+	// Unlike Workers this is not an execution hint: the sharded runner
+	// is a distinct deterministic algorithm, so Shards changes results
+	// and participates in cache identity. Other strategies ignore it.
+	Shards int
+	// ShardFast drops the sharded runner's epoch barrier — fast but
+	// nondeterministic. Only meaningful with Shards >= 1.
+	ShardFast bool
 }
 
 // Factory builds a configured tool from a normalized spec.

@@ -108,6 +108,20 @@ const (
 	// MConformanceCoverage is a histogram of final ground-truth rf-pair
 	// coverage per {tool}, in percent (one observation per program).
 	MConformanceCoverage = "conformance_rf_coverage_pct"
+	// MShardExecs counts executions run per {program,shard} of a sharded
+	// campaign (including executions later discarded by a deterministic
+	// stop-at-first-bug truncation — it measures work done, not counted
+	// budget).
+	MShardExecs = "shard_execs"
+	// MShardSteals counts execution batches a shard stole from another
+	// shard's deque, per {program,shard}.
+	MShardSteals = "shard_steals"
+	// MShardMergeNS is a histogram of epoch merge-barrier wall-clock in
+	// nanoseconds per {program}.
+	MShardMergeNS = "shard_merge_ns"
+	// MShardUtilization is a gauge set at campaign end: the percent of
+	// shard wall-clock spent executing batches, 0-100, per {program}.
+	MShardUtilization = "shard_utilization_pct"
 )
 
 // Event kinds emitted by the built-in instrumentation points.
@@ -133,6 +147,12 @@ const (
 	// EvConformanceViolation fires for every soundness or replay
 	// violation, with the offending tool, program, and behavior.
 	EvConformanceViolation = "conformance-violation"
+	// EvEpochMerge fires after every sharded-campaign merge barrier. Its
+	// fields are deterministic (epoch index, counted executions, corpus
+	// size) — never wall-clock or shard attribution — so the event stream
+	// of a deterministic sharded campaign is identical at every shard
+	// count.
+	EvEpochMerge = "epoch-merge"
 )
 
 // Hub is the standard Sink implementation: a metrics Registry plus an
