@@ -12,6 +12,7 @@
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	rff explore -prog CS/account [-budget 100000]   # exhaustive enumeration
 //	rff replay -artifact crashes/crash-000.json [-trace]
+//	rff regress -corpus triage-corpus             # replay the regression corpus
 //
 // Strategies are named by parameterized specs resolved through the
 // internal/strategy registry — `-tools pos,pct:7,rff` runs three tools
@@ -39,6 +40,7 @@ import (
 	"rff/internal/fleet"
 	"rff/internal/minimize"
 	"rff/internal/perf"
+	"rff/internal/progen"
 	"rff/internal/race"
 	"rff/internal/report"
 	"rff/internal/sched"
@@ -64,6 +66,8 @@ func main() {
 		cmdExplore(os.Args[2:])
 	case "replay":
 		cmdReplay(os.Args[2:])
+	case "regress":
+		cmdRegress(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -71,12 +75,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rff <list|tools|run|explore|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rff <list|tools|run|explore|replay|regress> [flags]")
 	fmt.Fprintln(os.Stderr, "  rff list")
 	fmt.Fprintln(os.Stderr, "  rff tools [-q] [-json]")
 	fmt.Fprintln(os.Stderr, "  rff run -prog NAME [-tools SPEC[,SPEC...]] [-budget N] [-seed S] [-trials K] [-workers N] [-trial-timeout DUR] [-v] [-minimize] [-out DIR] [-metrics FILE] [-events FILE] [-progress DUR]")
 	fmt.Fprintln(os.Stderr, "  rff explore -prog NAME [-budget N]")
 	fmt.Fprintln(os.Stderr, "  rff replay -artifact FILE [-trace]")
+	fmt.Fprintln(os.Stderr, "  rff regress -corpus DIR [-maxsteps N]")
 	fmt.Fprintf(os.Stderr, "strategy specs: %s (see `rff tools`)\n", strings.Join(strategy.Names(), ", "))
 }
 
@@ -517,6 +522,13 @@ func runReplay(artifactPath string, showTrace bool, stdout, stderr io.Writer) in
 		return 1
 	}
 	p, ok := bench.Get(a.Program)
+	if !ok {
+		// Generated programs ("gen/s<seed>/<index>") are not in the bench
+		// registry; regenerate them from the name instead.
+		if gp, gok := progen.FromName(a.Program); gok {
+			p, ok = gp.Bench(), true
+		}
+	}
 	if !ok {
 		fmt.Fprintf(stderr, "rff: artifact references unknown program %q\n", a.Program)
 		return 1

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rff/internal/triage"
+)
+
+func cmdRegress(args []string) {
+	fs := flag.NewFlagSet("regress", flag.ExitOnError)
+	corpus := fs.String("corpus", "", "regression corpus directory (from `rffbench triage` or rffd -triage)")
+	maxSteps := fs.Int("maxsteps", 0, "per-replay step budget (0 = engine default)")
+	fs.Parse(args)
+	if *corpus == "" {
+		fmt.Fprintln(os.Stderr, "rff regress: -corpus is required")
+		os.Exit(2)
+	}
+	os.Exit(runRegress(*corpus, *maxSteps, os.Stdout, os.Stderr))
+}
+
+// runRegress is cmdRegress's testable core: it replays every cluster's
+// canonical minimal artifact from the corpus and returns the process
+// exit code — 0 only when every cluster still reproduces its recorded
+// failure, so CI can gate on regressions escaping the corpus.
+func runRegress(dir string, maxSteps int, stdout, stderr io.Writer) int {
+	failures, total, err := triage.Regress(dir, maxSteps)
+	if err != nil {
+		fmt.Fprintf(stderr, "rff: %v\n", err)
+		return 1
+	}
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "FAIL %s: %s\n", f.ClusterID, f.Reason)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(stdout, "regress: %d/%d cluster(s) no longer reproduce\n", len(failures), total)
+		return 1
+	}
+	fmt.Fprintf(stdout, "regress: %d/%d cluster(s) reproduced\n", total, total)
+	return 0
+}

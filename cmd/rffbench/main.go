@@ -9,6 +9,7 @@
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
 //	rffbench conformance [-programs 50] [-seed 1] [-tools ...]  # differential conformance
 //	rffbench perf     [-budget 2000] [-out BENCH_perf.json]  # hot-path throughput
+//	rffbench triage   -in DIR | -store DIR | -progen-seed S  # cluster crashes into a regression corpus
 //
 // Matrix commands decompose into (tool, program, trial) cells and run on
 // a fleet worker pool: `-workers N` bounds the pool (default GOMAXPROCS)
@@ -80,6 +81,8 @@ func main() {
 		cmdClasses(args)
 	case "perf":
 		cmdPerf(args)
+	case "triage":
+		cmdTriage(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -87,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|conformance|perf> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|conformance|perf|triage> [flags]")
 }
 
 // profileFlags holds the pprof flags every subcommand accepts.

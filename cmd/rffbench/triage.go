@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rff/internal/bench"
+	"rff/internal/campaign"
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/progen"
+	"rff/internal/store"
+	"rff/internal/strategy"
+	"rff/internal/triage"
+)
+
+// triageCollector records an artifact for every failing execution a
+// campaign-mode tool observes.
+type triageCollector struct {
+	arts []*core.Artifact
+}
+
+func (c *triageCollector) observe(res *exec.Result) {
+	if res.Failure == nil {
+		return
+	}
+	f := *res.Failure
+	a := &core.Artifact{
+		Program:     res.Program,
+		Seed:        res.Seed,
+		FailureKind: f.Kind.String(),
+		FailureMsg:  f.Msg,
+		FailureLoc:  f.Loc,
+		Thread:      int32(f.Thread),
+	}
+	for _, d := range res.Trace.ThreadOrder() {
+		a.Decisions = append(a.Decisions, int32(d))
+	}
+	c.arts = append(c.arts, a)
+}
+
+// cmdTriage minimizes and clusters crash artifacts into a regression
+// corpus and prints the ranked report. Three input modes: a crash
+// directory (-in), an rffd data directory (-store), or campaign mode
+// (-progen-seed: generate programs, fuzz them, triage the failures —
+// the CI smoke path). Identical inputs produce byte-identical
+// corpus.json and report.json.
+func cmdTriage(args []string) {
+	fs := flag.NewFlagSet("triage", flag.ExitOnError)
+	in := fs.String("in", "", "triage crash artifacts (*.json) under this directory")
+	storeDir := fs.String("store", "", "triage artifacts recorded in this rffd data directory")
+	progenSeed := fs.Int64("progen-seed", 0, "campaign mode: generate programs from this seed, fuzz them, and triage the failures")
+	progenCount := fs.Int("progen-count", 8, "campaign mode: programs to generate")
+	toolsFlag := fs.String("tools", "rff", "campaign mode: comma-separated strategy specs")
+	campBudget := fs.Int("campaign-budget", 300, "campaign mode: schedules per trial")
+	trials := fs.Int("trials", 1, "campaign mode: trials per (tool, program)")
+	seed := fs.Int64("seed", 1, "campaign mode: base seed")
+	toolLabel := fs.String("tool", "", "tool to attribute -in artifacts to (default: unknown)")
+	out := fs.String("out", "triage-corpus", "regression corpus directory (replayed by `rff regress`)")
+	reportPath := fs.String("report", "", "also write the ranked report as JSON to this file")
+	budget := fs.Int("budget", 0, "minimization probe budget per artifact (0 = triage default)")
+	maxSteps := fs.Int("maxsteps", 0, "per-replay step budget (0 = engine default)")
+	pf := addProfileFlags(fs)
+	fs.Parse(args)
+
+	modes := 0
+	for _, set := range []bool{*in != "", *storeDir != "", *progenSeed != 0} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "rffbench triage: exactly one of -in, -store, -progen-seed is required")
+		os.Exit(2)
+	}
+	defer pf.start()()
+
+	tr := triage.New(triage.Config{Budget: *budget, MaxSteps: *maxSteps})
+	var skipped []string
+	switch {
+	case *in != "":
+		sk, err := triage.FromDir(tr, *in, *toolLabel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		skipped = sk
+	case *storeDir != "":
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		idx, err := store.OpenIndex(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+		skipped, err = triage.FromStore(tr, st, idx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		skipped = triageCampaign(tr, *progenSeed, *progenCount, *toolsFlag, *campBudget, *trials, *maxSteps, *seed)
+	}
+
+	if err := triage.SaveCorpus(tr, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(1)
+	}
+	rep := triage.BuildReport(tr, *out, skipped)
+	if *reportPath != "" {
+		data, err := rep.Encode()
+		if err == nil {
+			err = os.WriteFile(*reportPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	rep.Render(os.Stdout)
+	fmt.Printf("corpus: %s (replay with `rff regress -corpus %s`)\n", *out, *out)
+}
+
+// triageCampaign fuzzes progen-generated programs with each tool and
+// feeds every observed failure through the triager, in a deterministic
+// (tool, program, content) order.
+func triageCampaign(tr *triage.Triager, progenSeed int64, count int, toolsFlag string, budget, trials, maxSteps int, seed int64) []string {
+	specs, err := strategy.ParseSpecs(toolsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+	gen := progen.NewGenerator(progenSeed, progen.Options{})
+	var programs []bench.Program
+	for i := 0; i < count; i++ {
+		programs = append(programs, gen.Next().Bench())
+	}
+
+	type tagged struct {
+		art  *core.Artifact
+		tool string
+		data []byte
+	}
+	var arts []tagged
+	for _, spec := range specs {
+		col := &triageCollector{}
+		tool, err := strategy.Resolve(spec, strategy.Config{
+			Observer: campaign.ResultObserver(col.observe),
+			Budget:   budget,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(2)
+		}
+		runs := trials
+		if tool.Deterministic() {
+			runs = 1
+		}
+		for _, p := range programs {
+			for trial := 0; trial < runs; trial++ {
+				tool.Run(context.Background(), p, budget, maxSteps,
+					campaign.TrialSeed(seed, tool.Name(), p.Name, trial))
+			}
+		}
+		for _, a := range col.arts {
+			data, err := core.EncodeArtifact(a)
+			if err != nil {
+				continue
+			}
+			arts = append(arts, tagged{art: a, tool: tool.Name(), data: data})
+		}
+	}
+	// Fix the ingestion order so first-seen ordinals (and therefore the
+	// report) are a pure function of the campaign parameters.
+	sort.Slice(arts, func(i, j int) bool {
+		if arts[i].tool != arts[j].tool {
+			return arts[i].tool < arts[j].tool
+		}
+		if arts[i].art.Program != arts[j].art.Program {
+			return arts[i].art.Program < arts[j].art.Program
+		}
+		return string(arts[i].data) < string(arts[j].data)
+	})
+	var skipped []string
+	for _, ta := range arts {
+		if _, err := tr.Add(ta.art, ta.tool); err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s %s: %v", ta.tool, ta.art.Program, err))
+		}
+	}
+	return skipped
+}

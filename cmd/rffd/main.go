@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -40,6 +41,8 @@ func run(argv []string) error {
 	shards := fs.Int("shards", 0, "default worker-shard count for RFF trials of submissions that leave shards unset; part of the cache key (0 = unsharded)")
 	drainWait := fs.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	eventLog := fs.String("event-log", "", "append daemon events (request log) as JSONL to this file (default stderr)")
+	triageOn := fs.Bool("triage", false, "triage every completed job's artifacts into a regression corpus under <data>/triage and serve /v1/clusters")
+	triageBudget := fs.Int("triage-budget", 0, "minimization probe budget per triaged artifact (0 = triage default)")
 	fs.Parse(argv)
 
 	logger := log.New(os.Stderr, "rffd: ", log.LstdFlags)
@@ -65,15 +68,20 @@ func run(argv []string) error {
 	hub.Events = telemetry.NewEventWriter(logDest)
 	defer hub.Events.Flush()
 
-	srv, err := service.New(service.Options{
+	opts := service.Options{
 		Store:         st,
 		MaxJobs:       *maxJobs,
 		QueueCap:      *queueCap,
 		JobDeadline:   *jobDeadline,
 		Telemetry:     hub,
 		DefaultShards: *shards,
+		TriageBudget:  *triageBudget,
 		Logf:          logger.Printf,
-	})
+	}
+	if *triageOn {
+		opts.TriageDir = filepath.Join(*dataDir, "triage")
+	}
+	srv, err := service.New(opts)
 	if err != nil {
 		return err
 	}

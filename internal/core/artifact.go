@@ -144,13 +144,25 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 	return &a, nil
 }
 
-// Save writes the artifact as pretty-printed JSON.
-func (a *Artifact) Save(path string) error {
+// EncodeArtifact renders the canonical artifact bytes: pretty-printed
+// JSON with a trailing newline. Every producer (Save, the service's
+// blob store, the triage corpus) encodes through here, so identical
+// artifacts hash to identical content addresses everywhere.
+func EncodeArtifact(a *Artifact) ([]byte, error) {
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
-		return fmt.Errorf("artifact: %w", err)
+		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return append(data, '\n'), nil
+}
+
+// Save writes the artifact as pretty-printed JSON.
+func (a *Artifact) Save(path string) error {
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // LoadArtifact reads an artifact back, validating it on the way in.

@@ -27,8 +27,29 @@ type Options struct {
 	// MatchLoc additionally requires the failure location to match the
 	// original (default: kind only).
 	MatchLoc bool
-	// MaxProbes bounds the number of candidate executions (0 = 2000).
+	// Budget bounds the number of candidate executions (probes). Zero
+	// falls back to MaxProbes (and then to the 2000 default); a negative
+	// Budget allows no probes at all, in which case Minimize returns the
+	// original switch set unminimized rather than nil — an exhausted
+	// budget is a triage throughput decision, not evidence the artifact
+	// is broken.
+	Budget int
+	// MaxProbes is the legacy name for Budget (0 or negative = 2000).
+	// Budget, when non-zero, takes precedence.
 	MaxProbes int
+}
+
+// probeBudget resolves the effective probe budget from the two fields.
+func (o Options) probeBudget() int {
+	switch {
+	case o.Budget > 0:
+		return o.Budget
+	case o.Budget < 0:
+		return 0
+	case o.MaxProbes > 0:
+		return o.MaxProbes
+	}
+	return 2000
 }
 
 // Result reports the outcome of a minimization.
@@ -139,11 +160,11 @@ func switchesOf(decisions []exec.ThreadID) []Switch {
 // core.FailureRecord's Decisions) to a minimal switch set that still
 // reproduces the failure. Returns nil if the original schedule does not
 // reproduce (which cannot happen for decisions recorded against the same
-// program).
+// program). If the probe budget is exhausted before the original can
+// even be verified (Options.Budget <= 0 via an explicit negative value),
+// the original switch set is returned unminimized instead of nil.
 func Minimize(name string, prog exec.Program, decisions []exec.ThreadID, original *exec.Failure, opts Options) *Result {
-	if opts.MaxProbes <= 0 {
-		opts.MaxProbes = 2000
-	}
+	budget := opts.probeBudget()
 	res := &Result{}
 
 	matches := func(f *exec.Failure) bool {
@@ -158,7 +179,7 @@ func Minimize(name string, prog exec.Program, decisions []exec.ThreadID, origina
 
 	var lastGood *exec.Result
 	probe := func(sw []Switch) bool {
-		if res.Probes >= opts.MaxProbes {
+		if res.Probes >= budget {
 			return false
 		}
 		res.Probes++
@@ -173,6 +194,17 @@ func Minimize(name string, prog exec.Program, decisions []exec.ThreadID, origina
 
 	current := switchesOf(decisions)
 	res.OriginalSwitches = len(current)
+	if budget <= 0 {
+		// Budget exhausted before any reduction: hand back the original
+		// schedule unminimized. The caller still gets a replayable switch
+		// set and decision sequence — just not a smaller one.
+		res.MinimalSwitches = len(current)
+		res.Switches = current
+		res.Decisions = append([]exec.ThreadID(nil), decisions...)
+		res.Failure = original
+		res.Preemptions = countPreemptions(name, prog, res.Decisions, opts.MaxSteps)
+		return res
+	}
 	if !probe(current) {
 		return nil // original does not reproduce: inconsistent inputs
 	}

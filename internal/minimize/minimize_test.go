@@ -89,6 +89,53 @@ func TestMinimizeRespectsProbeBudget(t *testing.T) {
 	}
 }
 
+func TestMinimizeZeroBudgetReturnsOriginal(t *testing.T) {
+	p, fr := findFailure(t, "CS/reorder_10")
+	// A negative Budget allows no probes at all: the budget is exhausted
+	// before any reduction, so the original switch set comes back
+	// unminimized — never nil, which would read as "artifact broken".
+	res := minimize.Minimize(p.Name, p.Body, fr.Decisions, fr.Failure, minimize.Options{Budget: -1})
+	if res == nil {
+		t.Fatal("exhausted budget must return the original switch set, not nil")
+	}
+	if res.Probes != 0 {
+		t.Fatalf("negative budget ran %d probes", res.Probes)
+	}
+	if res.MinimalSwitches != res.OriginalSwitches {
+		t.Fatalf("no probes were allowed, yet switches changed: %d -> %d",
+			res.OriginalSwitches, res.MinimalSwitches)
+	}
+	if len(res.Decisions) != len(fr.Decisions) {
+		t.Fatalf("decisions changed length: %d -> %d", len(fr.Decisions), len(res.Decisions))
+	}
+	if res.Failure != fr.Failure {
+		t.Fatalf("failure should be the original: %v", res.Failure)
+	}
+	// The returned switch set still replays to the original failure kind.
+	if f := minimize.Replay(p.Name, p.Body, res.Switches, 0); f == nil || f.Kind != fr.Failure.Kind {
+		t.Fatalf("unminimized switch set does not replay: %v", f)
+	}
+}
+
+func TestMinimizeBudgetFieldBounds(t *testing.T) {
+	p, fr := findFailure(t, "CS/reorder_10")
+	// Budget is the preferred knob and takes precedence over MaxProbes.
+	res := minimize.Minimize(p.Name, p.Body, fr.Decisions, fr.Failure,
+		minimize.Options{Budget: 3, MaxProbes: 500})
+	if res == nil {
+		t.Fatal("even the identity probe should reproduce")
+	}
+	if res.Probes > 3 {
+		t.Fatalf("Budget 3 exceeded: %d probes", res.Probes)
+	}
+	// A zero Budget with zero MaxProbes falls back to the 2000 default
+	// and therefore reduces like the legacy path.
+	legacy := minimize.Minimize(p.Name, p.Body, fr.Decisions, fr.Failure, minimize.Options{})
+	if legacy == nil || legacy.MinimalSwitches > legacy.OriginalSwitches {
+		t.Fatalf("default-budget minimization misbehaved: %+v", legacy)
+	}
+}
+
 func TestMinimizeInconsistentInputReturnsNil(t *testing.T) {
 	p := bench.MustGet("CS/account")
 	// A round-robin decision sequence does not fail this program.

@@ -1,0 +1,52 @@
+package progen
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseName splits a generated program name ("gen/s42/0007") into its
+// generator seed and stream index. ok is false for anything that is not
+// a well-formed generated-program name.
+func ParseName(name string) (seed int64, index int, ok bool) {
+	rest, found := strings.CutPrefix(name, "gen/s")
+	if !found {
+		return 0, 0, false
+	}
+	seedStr, idxStr, found := strings.Cut(rest, "/")
+	if !found || seedStr == "" || idxStr == "" {
+		return 0, 0, false
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	index, err = strconv.Atoi(idxStr)
+	if err != nil || index < 0 {
+		return 0, 0, false
+	}
+	return seed, index, true
+}
+
+// FromName regenerates a program from its name alone by replaying the
+// generator stream under default Options up to the named index. This is
+// what lets an artifact mentioning "gen/s42/0007" be replayed months
+// later with no corpus on disk: equal names imply equal programs, so
+// the regenerated body is the one the artifact was recorded against.
+//
+// Only programs generated with default Options are reachable this way
+// (the name does not encode the options); that covers every campaign
+// surface that persists artifacts — the service and the conformance
+// harness both generate with defaults.
+func FromName(name string) (*Program, bool) {
+	seed, index, ok := ParseName(name)
+	if !ok {
+		return nil, false
+	}
+	g := NewGenerator(seed, Options{})
+	var p *Program
+	for i := 0; i <= index; i++ {
+		p = g.Next()
+	}
+	return p, true
+}

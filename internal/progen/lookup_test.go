@@ -1,0 +1,47 @@
+package progen
+
+import "testing"
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		index int
+		ok    bool
+	}{
+		{"gen/s42/0007", 42, 7, true},
+		{"gen/s-3/0000", -3, 0, true},
+		{"gen/s1/12345", 1, 12345, true},
+		{"CS/reorder_10", 0, 0, false},
+		{"gen/s42", 0, 0, false},
+		{"gen/s/0007", 0, 0, false},
+		{"gen/s42/", 0, 0, false},
+		{"gen/sx/0007", 0, 0, false},
+		{"gen/s42/-1", 0, 0, false},
+	}
+	for _, c := range cases {
+		seed, index, ok := ParseName(c.name)
+		if ok != c.ok || seed != c.seed || index != c.index {
+			t.Errorf("ParseName(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.name, seed, index, ok, c.seed, c.index, c.ok)
+		}
+	}
+}
+
+func TestFromNameRoundTrip(t *testing.T) {
+	g := NewGenerator(42, Options{})
+	for i := 0; i < 10; i++ {
+		want := g.Next()
+		got, ok := FromName(want.Name)
+		if !ok {
+			t.Fatalf("FromName(%q) failed", want.Name)
+		}
+		if got.Source() != want.Source() {
+			t.Fatalf("FromName(%q) regenerated a different program:\n%s\nvs\n%s",
+				want.Name, got.Source(), want.Source())
+		}
+	}
+	if _, ok := FromName("CS/account"); ok {
+		t.Fatal("FromName accepted a non-generated name")
+	}
+}

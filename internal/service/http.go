@@ -11,6 +11,7 @@ import (
 	"rff/internal/store"
 	"rff/internal/strategy"
 	"rff/internal/telemetry"
+	"rff/internal/triage"
 )
 
 // RequestError marks a client mistake (HTTP 400).
@@ -46,6 +47,8 @@ const MHTTPRequests = "http_requests"
 //	GET    /v1/jobs/{id}/events   live SSE stream, replayed from event 1
 //	GET    /v1/jobs/{id}/report   the job's stored report blob
 //	GET    /v1/artifacts/{id}     any stored blob by content id
+//	GET    /v1/clusters           triage clusters, ranked (requires -triage)
+//	GET    /v1/clusters/{id}      one cluster with its canonical artifact
 //	GET    /v1/metrics            daemon telemetry snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -60,6 +63,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	mux.HandleFunc("GET /v1/clusters/{id}", s.handleCluster)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s.logging(mux)
 }
@@ -249,6 +254,30 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Content-ID", string(id))
 	w.Write(data)
+}
+
+// handleClusters serves the ranked triage report over the live cluster
+// set (the same ranking `rffbench triage` prints).
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if s.triager == nil {
+		writeError(w, &UnavailableError{fmt.Errorf("triage is not enabled (start rffd with -triage)")})
+		return
+	}
+	writeJSON(w, http.StatusOK, triage.BuildReport(s.triager, s.opts.TriageDir, nil))
+}
+
+// handleCluster serves one cluster with its canonical minimal artifact.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.triager == nil {
+		writeError(w, &UnavailableError{fmt.Errorf("triage is not enabled (start rffd with -triage)")})
+		return
+	}
+	c := s.triager.Cluster(r.PathValue("id"))
+	if c == nil {
+		writeError(w, &NotFoundError{fmt.Errorf("no cluster %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterView{Cluster: c, Canonical: c.Canonical})
 }
 
 // handleMetrics serves the daemon hub's snapshot when the daemon sink

@@ -29,11 +29,7 @@ func newReplayArtifact(program string, seed int64, f *exec.Failure, decisions []
 // encodeArtifact renders the canonical artifact bytes — identical to
 // Artifact.Save's format, so a fetched blob is a valid crash file.
 func encodeArtifact(a *core.Artifact) ([]byte, error) {
-	data, err := json.MarshalIndent(a, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(data, '\n'), nil
+	return core.EncodeArtifact(a)
 }
 
 // runJob executes one campaign end to end: resolve the workload and

@@ -9,6 +9,7 @@ import (
 
 	"rff/internal/store"
 	"rff/internal/telemetry"
+	"rff/internal/triage"
 )
 
 // Options configures a Server.
@@ -33,6 +34,15 @@ type Options struct {
 	// value, and flipping the daemon default never serves results
 	// computed by the other algorithm.
 	DefaultShards int
+	// TriageDir, if non-empty, enables background triage: every
+	// completed job's artifacts are minimized and clustered into the
+	// regression corpus rooted at this directory (loaded at startup, so
+	// clusters accumulate across daemon restarts), and the /v1/clusters
+	// endpoints serve the live cluster set.
+	TriageDir string
+	// TriageBudget bounds per-artifact minimization probes during
+	// background triage (0 = the triage default).
+	TriageBudget int
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +67,16 @@ type Server struct {
 	stop    context.CancelFunc
 	workers sync.WaitGroup
 	started bool
+
+	// triager clusters completed jobs' artifacts (nil = triage off);
+	// triageMu serializes corpus writes across scheduler workers.
+	triager  *triage.Triager
+	triageMu sync.Mutex
+
+	// testAfterRun, if set, runs between a job's campaign finishing and
+	// its terminal state being recorded — the hook drain-race tests use
+	// to cancel the server inside that window deterministically.
+	testAfterRun func()
 }
 
 // New builds a server over the store, restoring any queue persisted by
@@ -85,12 +105,57 @@ func New(opts Options) (*Server, error) {
 		baseCtx: ctx,
 		stop:    cancel,
 	}
+	s.verifyIndex()
+	if opts.TriageDir != "" {
+		tr, err := triage.LoadCorpus(opts.TriageDir, triage.Config{
+			Budget: opts.TriageBudget,
+			Sink:   opts.Telemetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: loading triage corpus: %w", err)
+		}
+		s.triager = tr
+		if n := tr.Len(); n > 0 {
+			s.logf("loaded triage corpus: %d cluster(s)", n)
+		}
+	}
 	if n, err := s.restoreQueue(); err != nil {
 		s.logf("restoring persisted queue: %v", err)
 	} else if n > 0 {
 		s.logf("restored %d queued job(s) from a previous drain", n)
 	}
 	return s, nil
+}
+
+// verifyIndex drops index entries that reference missing blobs — the
+// leftovers of a crash or drain that interrupted a job between its blob
+// writes and the index record (an entry without its report or artifacts
+// would serve cache hits whose fetches 404). A dropped entry just means
+// that campaign re-runs on its next submission.
+func (s *Server) verifyIndex() {
+	for _, e := range s.index.Entries() {
+		missing := store.ID("")
+		switch {
+		case !s.store.Has(e.Report):
+			missing = e.Report
+		case e.Events != "" && !s.store.Has(e.Events):
+			missing = e.Events
+		default:
+			for _, id := range e.Artifacts {
+				if !s.store.Has(id) {
+					missing = id
+					break
+				}
+			}
+		}
+		if missing == "" {
+			continue
+		}
+		s.logf("index entry %s references missing blob %s; dropping it", e.Key, missing)
+		if err := s.index.Delete(e.Key); err != nil {
+			s.logf("dropping index entry %s: %v", e.Key, err)
+		}
+	}
 }
 
 // Store returns the server's blob store.
@@ -166,13 +231,19 @@ func (s *Server) execute(j *Job) {
 		"trials":  j.Request.Trials,
 		"workers": j.Request.Workers,
 	})
+	// runJob checks ctx itself before persisting anything, so a nil
+	// error here means a complete, fully-stored result — record it as
+	// done even if a drain cancelled the context afterwards. (Flipping
+	// a completed job to cancelled post-hoc used to leave its persisted
+	// artifact blobs unindexed and requeue the whole campaign.)
 	entry, err := s.runJob(ctx, j)
-	if err == nil {
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-		}
+	if s.testAfterRun != nil {
+		s.testAfterRun()
 	}
 	s.finishJob(j, entry, err)
+	if err == nil {
+		s.triageEntry(entry)
+	}
 	s.logf("job %s: %s", j.ID, j.State())
 }
 

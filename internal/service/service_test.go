@@ -578,3 +578,211 @@ func TestCanonicalizeDefaults(t *testing.T) {
 		t.Fatal("equivalent requests derived different cache keys")
 	}
 }
+
+// TestDrainDoesNotFlipCompletedJob pins the drain-race fix: a job whose
+// campaign fully completed (blobs persisted) before the drain cancelled
+// its context must finish done and indexed, not cancelled — flipping it
+// used to orphan its stored artifacts and requeue the whole campaign.
+func TestDrainDoesNotFlipCompletedJob(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Store: st, MaxJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel the server's base context in the window between the
+	// campaign finishing and the terminal state being recorded — the
+	// exact interleaving a drain deadline produces.
+	srv.testAfterRun = func() { srv.stop() }
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	v := submit(t, ts, CampaignRequest{
+		Program: "CS/account",
+		Tools:   []string{"rff"},
+		Budget:  2000,
+		Trials:  1,
+		Seed:    7,
+	})
+	done := waitTerminal(t, ts, v.ID)
+	if done.State != JobDone {
+		t.Fatalf("completed job flipped to %q (error %q)", done.State, done.Error)
+	}
+	if done.Result == nil {
+		t.Fatal("done job has no stored result")
+	}
+	entry := srv.index.Get(done.Result.Key)
+	if entry == nil {
+		t.Fatal("completed job has no index entry — artifacts orphaned")
+	}
+	for _, id := range append([]store.ID{entry.Report}, entry.Artifacts...) {
+		if !st.Has(id) {
+			t.Fatalf("index references missing blob %s", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The job completed; nothing should have been requeued for the next
+	// daemon instance.
+	if _, err := New(Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(srv.Jobs()); n != 1 {
+		t.Fatalf("expected 1 job, got %d", n)
+	}
+}
+
+// TestVerifyIndexDropsOrphans: startup must drop index entries whose
+// blobs are missing (the leftovers of an interrupted persist), and keep
+// healthy ones.
+func TestVerifyIndexDropsOrphans(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := store.OpenIndex(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := st.Put([]byte(`{"ok":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := st.Put([]byte(`{"artifact":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := store.SumID([]byte("healthy"))
+	noReport := store.SumID([]byte("no-report"))
+	noArtifact := store.SumID([]byte("no-artifact"))
+	for _, e := range []*store.Entry{
+		{Key: healthy, Report: report, Artifacts: []store.ID{artifact}},
+		{Key: noReport, Report: store.SumID([]byte("missing blob"))},
+		{Key: noArtifact, Report: report, Artifacts: []store.ID{store.SumID([]byte("gone"))}},
+	} {
+		if err := idx.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := New(Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.index.Get(healthy) == nil {
+		t.Fatal("healthy entry dropped")
+	}
+	if srv.index.Get(noReport) != nil {
+		t.Fatal("entry with a missing report survived")
+	}
+	if srv.index.Get(noArtifact) != nil {
+		t.Fatal("entry with a missing artifact survived")
+	}
+	// The cleanup persisted: a re-opened index agrees.
+	idx2, err := store.OpenIndex(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != 1 {
+		t.Fatalf("persisted index has %d entries, want 1", idx2.Len())
+	}
+}
+
+// TestTriageIntegration: with TriageDir set, a completed campaign's
+// artifacts are clustered in the background, served by /v1/clusters,
+// and persisted as a regression corpus that survives a restart.
+func TestTriageIntegration(t *testing.T) {
+	triageDir := t.TempDir()
+	hub := telemetry.NewHub()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Options{Store: st, TriageDir: triageDir, Telemetry: hub})
+
+	v := submit(t, ts, CampaignRequest{
+		Program: "CS/account",
+		Tools:   []string{"rff"},
+		Budget:  3000,
+		Trials:  2,
+		Seed:    7,
+	})
+	done := waitTerminal(t, ts, v.ID)
+	if done.State != JobDone {
+		t.Fatalf("job state %q (error %q)", done.State, done.Error)
+	}
+
+	// Triage runs on the worker after the job seals; poll briefly.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.triager.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.triager.Len() == 0 {
+		t.Fatal("no clusters after a bug-finding campaign")
+	}
+
+	var rep struct {
+		Clusters []struct {
+			Cluster struct {
+				ID   string `json:"id"`
+				Hits int    `json:"hits"`
+			} `json:"cluster"`
+			Replay string `json:"replay"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal(getBody(t, ts, "/v1/clusters", 200), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clusters) == 0 {
+		t.Fatal("/v1/clusters returned no clusters")
+	}
+	first := rep.Clusters[0]
+	if first.Cluster.Hits == 0 || first.Replay == "" {
+		t.Fatalf("bad cluster row: %+v", first)
+	}
+
+	var detail struct {
+		ID        string         `json:"id"`
+		Canonical *core.Artifact `json:"canonical"`
+	}
+	if err := json.Unmarshal(getBody(t, ts, "/v1/clusters/"+first.Cluster.ID, 200), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Canonical == nil || detail.Canonical.Program != "CS/account" {
+		t.Fatalf("cluster detail missing canonical artifact: %+v", detail)
+	}
+	getBody(t, ts, "/v1/clusters/c-000000000000", 404)
+
+	// triage_* telemetry reached the daemon sink.
+	snap := hub.Snapshot()
+	data, err := snap.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(telemetry.MTriageClusters)) {
+		t.Errorf("metrics snapshot lacks %s:\n%s", telemetry.MTriageClusters, data)
+	}
+
+	// The corpus persisted and reloads into a fresh daemon.
+	srv2, err := New(Options{Store: st, TriageDir: triageDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.triager.Len() != srv.triager.Len() {
+		t.Fatalf("restarted daemon loaded %d clusters, want %d", srv2.triager.Len(), srv.triager.Len())
+	}
+}
+
+// TestClustersUnavailableWithoutTriage: the endpoints 503 when the
+// daemon runs without -triage.
+func TestClustersUnavailableWithoutTriage(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	getBody(t, ts, "/v1/clusters", 503)
+	getBody(t, ts, "/v1/clusters/c-000000000000", 503)
+}

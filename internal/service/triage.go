@@ -1,0 +1,60 @@
+package service
+
+import (
+	"encoding/json"
+
+	"rff/internal/core"
+	"rff/internal/store"
+	"rff/internal/triage"
+)
+
+// triageEntry feeds a completed campaign's artifacts through the triage
+// pipeline and persists the updated regression corpus. It runs on the
+// scheduler worker after the job seals its terminal event, so triage
+// latency (minimization probes) never delays the job's API-visible
+// completion; identical artifacts re-observed by later campaigns dedup
+// by content inside the triager.
+func (s *Server) triageEntry(entry *store.Entry) {
+	if s.triager == nil || entry == nil || len(entry.Artifacts) == 0 {
+		return
+	}
+	// The report blob carries the per-artifact tool attribution the
+	// index entry doesn't.
+	tools := map[store.ID]string{}
+	if data, err := s.store.Get(entry.Report); err == nil {
+		var res CampaignResult
+		if json.Unmarshal(data, &res) == nil {
+			for _, ref := range res.Artifacts {
+				tools[ref.ID] = ref.Tool
+			}
+		}
+	}
+	for _, id := range entry.Artifacts {
+		data, err := s.store.Get(id)
+		if err != nil {
+			s.logf("triage: fetching artifact %s: %v", id, err)
+			continue
+		}
+		a, err := core.DecodeArtifact(data)
+		if err != nil {
+			s.logf("triage: decoding artifact %s: %v", id, err)
+			continue
+		}
+		if _, err := s.triager.Add(a, tools[id]); err != nil {
+			s.logf("triage: artifact %s: %v", id, err)
+		}
+	}
+	s.triageMu.Lock()
+	defer s.triageMu.Unlock()
+	if err := triage.SaveCorpus(s.triager, s.opts.TriageDir); err != nil {
+		s.logf("triage: saving corpus: %v", err)
+	}
+}
+
+// clusterView is GET /v1/clusters/{id}: the cluster plus its canonical
+// minimal artifact inlined, so a client can replay without a second
+// fetch.
+type clusterView struct {
+	*triage.Cluster
+	Canonical *core.Artifact `json:"canonical,omitempty"`
+}

@@ -102,6 +102,33 @@ func (idx *Index) Put(e *Entry) error {
 	return idx.flushLocked()
 }
 
+// Entries returns copies of every recorded entry, sorted by key — the
+// same order the index file serializes in.
+func (idx *Index) Entries() []*Entry {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	out := make([]*Entry, 0, len(idx.entries))
+	for _, e := range idx.entries {
+		cp := *e
+		cp.Artifacts = append([]ID(nil), e.Artifacts...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Delete removes an entry and persists the index atomically. Deleting
+// an absent key is a no-op.
+func (idx *Index) Delete(key ID) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if _, ok := idx.entries[key]; !ok {
+		return nil
+	}
+	delete(idx.entries, key)
+	return idx.flushLocked()
+}
+
 // Len returns the number of recorded campaigns.
 func (idx *Index) Len() int {
 	idx.mu.Lock()

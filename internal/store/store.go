@@ -142,6 +142,24 @@ func (s *Store) Has(id ID) bool {
 	return err == nil
 }
 
+// List calls fn for every stored blob's address in sorted order,
+// stopping early (and returning fn's error) if fn fails. It is the
+// streaming counterpart of IDs for scanners — triage, garbage checks —
+// that want to visit blobs without materializing the whole address
+// list first.
+func (s *Store) List(fn func(ID) error) error {
+	ids, err := s.IDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := fn(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // IDs lists every stored blob's address, sorted.
 func (s *Store) IDs() ([]ID, error) {
 	var out []ID

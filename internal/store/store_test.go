@@ -234,3 +234,109 @@ func TestIndexWriteIsAtomic(t *testing.T) {
 		t.Fatalf("expected 5 entries, got %d", idx2.Len())
 	}
 }
+
+func TestListEmptyAndPopulated(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store: fn never called.
+	calls := 0
+	if err := s.List(func(ID) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("List on empty store visited %d ids", calls)
+	}
+	// Populated store: every blob visited exactly once, in sorted order.
+	want := map[ID]bool{}
+	for i := 0; i < 7; i++ {
+		id, err := s.Put([]byte(fmt.Sprintf("blob-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = true
+	}
+	var seen []ID
+	if err := s.List(func(id ID) error { seen = append(seen, id); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("List visited %d ids, want %d", len(seen), len(want))
+	}
+	for i, id := range seen {
+		if !want[id] {
+			t.Fatalf("List visited unknown id %s", id)
+		}
+		if i > 0 && seen[i-1] >= id {
+			t.Fatalf("List out of order: %s before %s", seen[i-1], id)
+		}
+	}
+	// An fn error stops the walk and propagates.
+	stop := fmt.Errorf("stop here")
+	calls = 0
+	err = s.List(func(ID) error {
+		calls++
+		if calls == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("List error = %v, want %v", err, stop)
+	}
+	if calls != 3 {
+		t.Fatalf("List kept walking after error: %d calls", calls)
+	}
+}
+
+func TestIndexEntriesAndDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []ID
+	for i := 0; i < 4; i++ {
+		key := SumID([]byte(fmt.Sprintf("req-%d", i)))
+		keys = append(keys, key)
+		if err := idx.Put(&Entry{Key: key, Report: SumID([]byte("report"))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := idx.Entries()
+	if len(got) != 4 {
+		t.Fatalf("Entries returned %d, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatalf("Entries out of order: %s before %s", got[i-1].Key, got[i].Key)
+		}
+	}
+	// Mutating a returned entry must not touch the index.
+	got[0].Artifacts = append(got[0].Artifacts, SumID([]byte("rogue")))
+	if e := idx.Get(got[0].Key); len(e.Artifacts) != 0 {
+		t.Fatal("Entries leaked a mutable reference into the index")
+	}
+	if err := idx.Delete(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Get(keys[1]) != nil {
+		t.Fatal("entry still present after Delete")
+	}
+	// Delete persists: a fresh open must not see the entry.
+	idx2, err := OpenIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != 3 || idx2.Get(keys[1]) != nil {
+		t.Fatalf("Delete did not persist: len=%d", idx2.Len())
+	}
+	// Deleting an absent key is a no-op.
+	if err := idx.Delete(SumID([]byte("never-stored"))); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -122,6 +122,15 @@ const (
 	// MShardUtilization is a gauge set at campaign end: the percent of
 	// shard wall-clock spent executing batches, 0-100, per {program}.
 	MShardUtilization = "shard_utilization_pct"
+	// MTriageClusters is a gauge tracking the number of distinct failure
+	// clusters in the triage corpus.
+	MTriageClusters = "triage_clusters_total"
+	// MTriageMinimizeSteps counts candidate executions (probes) spent
+	// minimizing artifacts during triage.
+	MTriageMinimizeSteps = "triage_minimize_steps"
+	// MTriageDedupHits counts artifacts that triage recognized as
+	// already-ingested content or as members of an existing cluster.
+	MTriageDedupHits = "triage_dedup_hits"
 )
 
 // Event kinds emitted by the built-in instrumentation points.

@@ -1,0 +1,107 @@
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReportEntry is one cluster's row in the ranked triage report.
+type ReportEntry struct {
+	Rank    int     `json:"rank"`
+	Cluster Cluster `json:"cluster"`
+	// Replay is the command that reproduces the cluster's canonical
+	// minimal artifact.
+	Replay string `json:"replay"`
+}
+
+// Report is the ranked triage report: clusters ordered by
+// novelty/frequency — rarely-hit clusters first (a bug every tool trips
+// over constantly needs less attention than one a single tool found
+// once), newest first within equal hit counts, cluster ID as the final
+// total-order tiebreak.
+type Report struct {
+	// Clusters is the ranked cluster list.
+	Clusters []ReportEntry `json:"clusters"`
+	// Artifacts counts distinct artifacts ingested (dedup'd by content).
+	Artifacts int `json:"artifacts"`
+	// Skipped lists inputs that could not be triaged (unknown program,
+	// non-reproducing failure), sorted.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// BuildReport ranks the triager's clusters. corpusDir, when non-empty,
+// is the corpus root the replay commands reference; skipped lists
+// untriageable inputs the caller accumulated during ingestion.
+func BuildReport(t *Triager, corpusDir string, skipped []string) *Report {
+	clusters := t.Clusters()
+	sort.SliceStable(clusters, func(i, j int) bool {
+		a, b := clusters[i], clusters[j]
+		if a.Hits != b.Hits {
+			return a.Hits < b.Hits
+		}
+		if a.FirstSeen != b.FirstSeen {
+			return a.FirstSeen > b.FirstSeen
+		}
+		return a.ID < b.ID
+	})
+	rep := &Report{Skipped: append([]string(nil), skipped...)}
+	sort.Strings(rep.Skipped)
+	t.mu.Lock()
+	rep.Artifacts = len(t.members)
+	t.mu.Unlock()
+	for i, c := range clusters {
+		replay := fmt.Sprintf("rff replay %s", filepath.Join(corpusDir, "artifacts", c.ID+".json"))
+		if corpusDir == "" {
+			replay = fmt.Sprintf("rff replay artifacts/%s.json", c.ID)
+		}
+		rep.Clusters = append(rep.Clusters, ReportEntry{Rank: i + 1, Cluster: *c, Replay: replay})
+	}
+	return rep
+}
+
+// Encode renders the canonical report bytes (what CI diffs for
+// byte-identity).
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("triage report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Render writes the human-readable report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "triage: %d artifacts → %d clusters", r.Artifacts, len(r.Clusters))
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(w, " (%d skipped)", len(r.Skipped))
+	}
+	fmt.Fprintln(w)
+	for _, e := range r.Clusters {
+		c := e.Cluster
+		tools := make([]string, 0, len(c.HitsByTool))
+		for tool := range c.HitsByTool {
+			tools = append(tools, tool)
+		}
+		sort.Strings(tools)
+		parts := make([]string, len(tools))
+		for i, tool := range tools {
+			parts[i] = fmt.Sprintf("%s×%d", tool, c.HitsByTool[tool])
+		}
+		fmt.Fprintf(w, "#%d %s  %s  %s\n", e.Rank, c.ID, c.Signature.Program, c.Signature.Kind)
+		detail := c.Signature.Msg
+		if detail == "" {
+			detail = strings.Join(c.Signature.Locs, " ")
+		}
+		fmt.Fprintf(w, "    %s | threads=%d preemptions=%d switches %d→%d\n",
+			detail, c.Signature.Threads, c.Preemptions, c.OriginalSwitches, c.MinimalSwitches)
+		fmt.Fprintf(w, "    hits=%d (%s) first-seen=#%d\n", c.Hits, strings.Join(parts, " "), c.FirstSeen)
+		fmt.Fprintf(w, "    replay: %s\n", e.Replay)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(w, "skipped: %s\n", s)
+	}
+}

@@ -1,0 +1,54 @@
+package triage
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeDeadlockLocs(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want []string
+	}{
+		{
+			// Thread ids, locations, and main's join are schedule noise;
+			// the contended operations identify the deadlock.
+			"t2(w2) blocked at lock(m0)@w2.3, t3(w3) blocked at lock(m1)@w3.1, t1(main) blocked at join",
+			[]string{"lock(m0)", "lock(m1)"},
+		},
+		{
+			// Same deadlock reported with the threads in another order
+			// and a bystander blocked on an already-listed mutex.
+			"t3(w3) blocked at lock(m1)@w3.1, t4(w4) blocked at lock(m0)@w4.0, t2(w2) blocked at lock(m0)@w2.3",
+			[]string{"lock(m0)", "lock(m1)"},
+		},
+		{"t1(main) blocked at join", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := normalizeDeadlockLocs(c.msg); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("normalizeDeadlockLocs(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestSignatureKeyStability(t *testing.T) {
+	a := Signature{Program: "p", Kind: "deadlock", Locs: []string{"lock(m0)", "lock(m1)"}, Threads: 2}
+	b := Signature{Program: "p", Kind: "deadlock", Locs: []string{"lock(m0)", "lock(m1)"}, Threads: 2}
+	if a.ClusterID() != b.ClusterID() {
+		t.Fatal("equal signatures produced different cluster IDs")
+	}
+	// Shape is descriptive, not identifying: a different thread count
+	// must NOT produce a different cluster (minimal switch sets do not
+	// converge to one shape across seeds).
+	c := a
+	c.Threads = 3
+	if a.ClusterID() != c.ClusterID() {
+		t.Fatal("shape participated in cluster identity")
+	}
+	d := a
+	d.Locs = []string{"lock(m0)|lock(m1)"} // join ambiguity must not collide
+	if a.ClusterID() == d.ClusterID() {
+		t.Fatal("ambiguous loc join collided")
+	}
+}

@@ -1,0 +1,230 @@
+package triage_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rff/internal/bench"
+	"rff/internal/core"
+	"rff/internal/triage"
+)
+
+// artifactsFor fuzzes a benchmark program at several seeds and returns
+// one artifact per seed that found the bug.
+func artifactsFor(t *testing.T, name string, seeds ...int64) []*core.Artifact {
+	t.Helper()
+	p := bench.MustGet(name)
+	var out []*core.Artifact
+	for _, seed := range seeds {
+		rep := core.NewFuzzer(p.Name, p.Body, core.Options{
+			Budget: 3000, Seed: seed, StopAtFirstBug: true,
+		}).Run()
+		if !rep.FoundBug() {
+			continue
+		}
+		out = append(out, core.NewArtifact(p.Name, rep.Failures[0]))
+	}
+	if len(out) < 2 {
+		t.Fatalf("%s: found the bug at only %d/%d seeds", name, len(out), len(seeds))
+	}
+	return out
+}
+
+func TestSameBugAcrossSeedsOneCluster(t *testing.T) {
+	arts := artifactsFor(t, "CS/reorder_10", 13, 29, 57)
+	tr := triage.New(triage.Config{})
+	var cluster string
+	for i, a := range arts {
+		out, err := tr.Add(a, "rff")
+		if err != nil {
+			t.Fatalf("artifact %d: %v", i, err)
+		}
+		if out.Dedup {
+			t.Fatalf("artifact %d unexpectedly deduped", i)
+		}
+		if cluster == "" {
+			cluster = out.ClusterID
+		} else if out.ClusterID != cluster {
+			t.Fatalf("artifact %d split into cluster %s, first went to %s", i, out.ClusterID, cluster)
+		}
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("expected 1 cluster, got %d", tr.Len())
+	}
+	c := tr.Cluster(cluster)
+	if c == nil || c.Hits != len(arts) || c.HitsByTool["rff"] != len(arts) {
+		t.Fatalf("bad cluster accounting: %+v", c)
+	}
+	if c.Canonical == nil || c.MinimalSwitches > c.OriginalSwitches {
+		t.Fatalf("bad canonical: %+v", c)
+	}
+	// Re-adding an identical artifact is a dedup, not a new hit.
+	out, err := tr.Add(arts[0], "rff")
+	if err != nil || !out.Dedup {
+		t.Fatalf("re-add: out=%+v err=%v", out, err)
+	}
+	if tr.Cluster(cluster).Hits != len(arts) {
+		t.Fatal("dedup incremented hits")
+	}
+}
+
+func TestDeadlockClustersAcrossSeeds(t *testing.T) {
+	arts := artifactsFor(t, "CS/deadlock01", 7, 21, 35)
+	tr := triage.New(triage.Config{})
+	for i, a := range arts {
+		if _, err := tr.Add(a, "pos"); err != nil {
+			t.Fatalf("artifact %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 1 {
+		for _, c := range tr.Clusters() {
+			t.Logf("cluster %s: %+v", c.ID, c.Signature)
+		}
+		t.Fatalf("deadlock artifacts split into %d clusters", tr.Len())
+	}
+}
+
+func TestAddRejectsNonReproducingArtifact(t *testing.T) {
+	arts := artifactsFor(t, "CS/reorder_10", 13, 29)
+	a := *arts[0]
+	a.FailureKind = "deadlock" // recorded kind contradicts the schedule
+	a.FailureLoc = ""
+	tr := triage.New(triage.Config{})
+	if _, err := tr.Add(&a, ""); err == nil {
+		t.Fatal("artifact with a wrong failure kind must not triage")
+	}
+	if _, err := tr.Add(&core.Artifact{Program: "no/such/program", FailureKind: "deadlock", Decisions: []int32{1}}, ""); err == nil {
+		t.Fatal("unknown program must not triage")
+	}
+}
+
+// writeArtifactDir saves artifacts as a crash directory.
+func writeArtifactDir(t *testing.T, arts []*core.Artifact) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, a := range arts {
+		if err := a.Save(filepath.Join(dir, "crash-"+string(rune('a'+i))+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDirTriageDeterministicCorpusAndReport(t *testing.T) {
+	arts := append(artifactsFor(t, "CS/reorder_10", 13, 29),
+		artifactsFor(t, "CS/deadlock01", 7, 21)...)
+	dir := writeArtifactDir(t, arts)
+
+	run := func() (corpusJSON, artifactFiles, reportJSON []byte) {
+		tr := triage.New(triage.Config{})
+		skipped, err := triage.FromDir(tr, dir, "rff")
+		if err != nil || len(skipped) != 0 {
+			t.Fatalf("FromDir: err=%v skipped=%v", err, skipped)
+		}
+		cdir := t.TempDir()
+		if err := triage.SaveCorpus(tr, cdir); err != nil {
+			t.Fatal(err)
+		}
+		corpusJSON, err = os.ReadFile(filepath.Join(cdir, "corpus.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(filepath.Join(cdir, "artifacts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			b, err := os.ReadFile(filepath.Join(cdir, "artifacts", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			artifactFiles = append(artifactFiles, []byte(e.Name())...)
+			artifactFiles = append(artifactFiles, b...)
+		}
+		reportJSON, err = triage.BuildReport(tr, "corpus", nil).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	c1, a1, r1 := run()
+	c2, a2, r2 := run()
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("corpus.json differs between identical runs:\n%s\nvs\n%s", c1, c2)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Error("canonical artifacts differ between identical runs")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("report differs between identical runs:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+func TestCorpusRoundTripMergeAndRegress(t *testing.T) {
+	arts := artifactsFor(t, "CS/reorder_10", 13, 29, 57)
+	tr := triage.New(triage.Config{})
+	for _, a := range arts[:2] {
+		if _, err := tr.Add(a, "rff"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cdir := t.TempDir()
+	if err := triage.SaveCorpus(tr, cdir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload and merge: the already-seen artifact dedups, a new one for
+	// the same bug joins the existing cluster.
+	tr2, err := triage.LoadCorpus(cdir, triage.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 1 {
+		t.Fatalf("reloaded corpus has %d clusters, want 1", tr2.Len())
+	}
+	out, err := tr2.Add(arts[0], "rff")
+	if err != nil || !out.Dedup {
+		t.Fatalf("reloaded corpus did not dedup a stored artifact: %+v err=%v", out, err)
+	}
+	out, err = tr2.Add(arts[2], "pct:3")
+	if err != nil || out.Dedup || out.New {
+		t.Fatalf("third artifact should join the existing cluster: %+v err=%v", out, err)
+	}
+	c := tr2.Clusters()[0]
+	if c.Hits != 3 || c.HitsByTool["pct:3"] != 1 {
+		t.Fatalf("merge accounting wrong: %+v", c)
+	}
+	if err := triage.SaveCorpus(tr2, cdir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every corpus entry replays to its recorded failure.
+	bad, total, err := triage.Regress(cdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1 || len(bad) != 0 {
+		t.Fatalf("regress: total=%d bad=%v", total, bad)
+	}
+
+	// Corrupt the canonical artifact's recorded kind: regress must flag it.
+	a, err := core.LoadArtifact(filepath.Join(cdir, "artifacts", c.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FailureKind = "deadlock"
+	a.FailureLoc = ""
+	if err := a.Save(filepath.Join(cdir, "artifacts", c.ID+".json")); err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err = triage.Regress(cdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("regress missed a non-reproducing entry: %v", bad)
+	}
+}
