@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rff/internal/conformance"
+	"rff/internal/progen"
 	"rff/internal/strategy"
 	"rff/internal/telemetry"
 )
@@ -30,6 +31,8 @@ func cmdConformance(args []string) {
 	trials := fs.Int("trials", 1, "trials per (program, spec) for randomized strategies")
 	budget := fs.Int("budget", 300, "schedule budget per trial")
 	gtBudget := fs.Int("gt-budget", 60000, "ground-truth enumeration budget per program")
+	grammar := fs.String("grammar", "core",
+		"progen grammar to draw programs from ("+strings.Join(progen.Grammars(), ", ")+")")
 	maxSteps := fs.Int("maxsteps", 4096, "per-execution step budget")
 	workers := fs.Int("workers", 1, "fleet workers per program; results identical at any count")
 	out := fs.String("out", "", "directory for summary.txt, coverage.txt, and report.json (e.g. results/conformance)")
@@ -40,6 +43,10 @@ func cmdConformance(args []string) {
 
 	specs, err := strategy.ParseSpecs(*toolsFlag)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := progen.ParseGrammar(*grammar); err != nil {
 		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -70,6 +77,7 @@ func cmdConformance(args []string) {
 		GTBudget:  *gtBudget,
 		MaxSteps:  *maxSteps,
 		Workers:   *workers,
+		Grammar:   *grammar,
 		Telemetry: sink,
 		Progress:  progress,
 	})

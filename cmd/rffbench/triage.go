@@ -54,6 +54,7 @@ func cmdTriage(args []string) {
 	storeDir := fs.String("store", "", "triage artifacts recorded in this rffd data directory")
 	progenSeed := fs.Int64("progen-seed", 0, "campaign mode: generate programs from this seed, fuzz them, and triage the failures")
 	progenCount := fs.Int("progen-count", 8, "campaign mode: programs to generate")
+	progenGrammar := fs.String("progen-grammar", "core", "campaign mode: progen grammar to draw from (core, chan, sync, all)")
 	toolsFlag := fs.String("tools", "rff", "campaign mode: comma-separated strategy specs")
 	campBudget := fs.Int("campaign-budget", 300, "campaign mode: schedules per trial")
 	trials := fs.Int("trials", 1, "campaign mode: trials per (tool, program)")
@@ -105,7 +106,7 @@ func cmdTriage(args []string) {
 			os.Exit(1)
 		}
 	default:
-		skipped = triageCampaign(tr, *progenSeed, *progenCount, *toolsFlag, *campBudget, *trials, *maxSteps, *seed)
+		skipped = triageCampaign(tr, *progenSeed, *progenCount, *progenGrammar, *toolsFlag, *campBudget, *trials, *maxSteps, *seed)
 	}
 
 	if err := triage.SaveCorpus(tr, *out); err != nil {
@@ -130,13 +131,18 @@ func cmdTriage(args []string) {
 // triageCampaign fuzzes progen-generated programs with each tool and
 // feeds every observed failure through the triager, in a deterministic
 // (tool, program, content) order.
-func triageCampaign(tr *triage.Triager, progenSeed int64, count int, toolsFlag string, budget, trials, maxSteps int, seed int64) []string {
+func triageCampaign(tr *triage.Triager, progenSeed int64, count int, grammar, toolsFlag string, budget, trials, maxSteps int, seed int64) []string {
 	specs, err := strategy.ParseSpecs(toolsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
 		os.Exit(2)
 	}
-	gen := progen.NewGenerator(progenSeed, progen.Options{})
+	feats, err := progen.ParseGrammar(grammar)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+	gen := progen.NewGenerator(progenSeed, progen.Options{Features: feats})
 	var programs []bench.Program
 	for i := 0; i < count; i++ {
 		programs = append(programs, gen.Next().Bench())

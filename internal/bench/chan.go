@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"rff/internal/exec"
+)
+
+// The Chan suite exercises the engine's channel and WaitGroup vocabulary
+// with the classic Go concurrency shapes: producer/consumer handoffs,
+// select fan-in, close races, and WaitGroup joins. The buggy variants
+// plant the channel-specific failure kinds (send-on-closed, close-of-
+// closed, channel deadlock) reachable only on some interleavings, so the
+// suite doubles as the regression surface for channel-aware scheduling.
+
+func init() {
+	register(Program{
+		Name: "Chan/prodcons", Suite: "Chan", Bug: BugNone, Threads: 3,
+		Desc: "two producers hand five values each to a consumer over a capacity-2 channel; the consumer sums and main asserts the total",
+		Body: prodconsProgram,
+	})
+	register(Program{
+		Name: "Chan/fanin_select", Suite: "Chan", Bug: BugNone, Threads: 3,
+		Desc: "two producers on distinct rendezvous channels, a consumer selecting over both; every interleaving must deliver all values",
+		Body: faninSelectProgram,
+	})
+	register(Program{
+		Name: "Chan/close_race", Suite: "Chan", Bug: BugAssert, Threads: 3,
+		Desc: "a producer sends while a closer closes the same channel: schedules that close first crash with send-on-closed",
+		Body: closeRaceProgram,
+	})
+	register(Program{
+		Name: "Chan/double_close", Suite: "Chan", Bug: BugAssert, Threads: 3,
+		Desc: "two workers close the same channel behind a racy guard flag: both observing the flag unset crashes with close-of-closed",
+		Body: doubleCloseProgram,
+	})
+	register(Program{
+		Name: "Chan/missing_recv", Suite: "Chan", Bug: BugDeadlock, Threads: 3,
+		Desc: "consumer drains a rendezvous channel as many times as a racy counter says producers sent; an undercount leaves a producer blocked forever",
+		Body: missingRecvProgram,
+	})
+	register(Program{
+		Name: "Chan/wg_pipeline", Suite: "Chan", Bug: BugNone, Threads: 3,
+		Desc: "workers publish results into a buffered channel and signal a WaitGroup; main waits, drains, and asserts the sum",
+		Body: wgPipelineProgram,
+	})
+}
+
+// prodconsProgram: two producers, one consumer, buffered channel.
+func prodconsProgram(t *exec.Thread) {
+	ch := t.NewChan("ch", 2)
+	total := t.NewVar("total", 0)
+	producer := func(base int64) exec.Program {
+		return func(w *exec.Thread) {
+			for i := int64(0); i < 5; i++ {
+				w.Send(ch, base+i)
+			}
+		}
+	}
+	p1 := t.Go("p1", producer(1))
+	p2 := t.Go("p2", producer(100))
+	c := t.Go("c", func(w *exec.Thread) {
+		var sum int64
+		for i := 0; i < 10; i++ {
+			v, ok := w.Recv(ch)
+			w.Assert(ok, "channel closed early")
+			sum += v
+		}
+		w.Write(total, sum)
+	})
+	t.JoinAll(p1, p2, c)
+	// 1+2+3+4+5 + 100+101+102+103+104 = 15 + 510
+	t.Assertf(t.Read(total) == 525, "total %d, want 525", t.Read(total))
+}
+
+// faninSelectProgram: select over two rendezvous channels.
+func faninSelectProgram(t *exec.Thread) {
+	a := t.NewChan("a", 0)
+	b := t.NewChan("b", 0)
+	total := t.NewVar("total", 0)
+	p1 := t.Go("p1", func(w *exec.Thread) {
+		w.Send(a, 1)
+		w.Send(a, 2)
+	})
+	p2 := t.Go("p2", func(w *exec.Thread) {
+		w.Send(b, 10)
+		w.Send(b, 20)
+	})
+	c := t.Go("c", func(w *exec.Thread) {
+		var sum int64
+		for i := 0; i < 4; i++ {
+			_, v, ok := w.Select(exec.RecvCase(a), exec.RecvCase(b))
+			w.Assert(ok, "fan-in receive failed")
+			sum += v
+		}
+		w.Write(total, sum)
+	})
+	t.JoinAll(p1, p2, c)
+	t.Assertf(t.Read(total) == 33, "total %d, want 33", t.Read(total))
+}
+
+// closeRaceProgram: send racing a close — the channel-native analogue of
+// the classic use-after-free shape.
+func closeRaceProgram(t *exec.Thread) {
+	ch := t.NewChan("ch", 1)
+	p := t.Go("p", func(w *exec.Thread) {
+		w.Send(ch, 1) // crashes when the closer won the race
+	})
+	k := t.Go("k", func(w *exec.Thread) {
+		w.Close(ch)
+	})
+	c := t.Go("c", func(w *exec.Thread) {
+		w.TryRecv(ch)
+	})
+	t.JoinAll(p, k, c)
+}
+
+// doubleCloseProgram: a racy closed-flag check guards close, so two
+// threads can both decide to close — close-of-closed on those schedules.
+func doubleCloseProgram(t *exec.Thread) {
+	ch := t.NewChan("ch", 1)
+	flag := t.NewVar("flag", 0)
+	closer := func(w *exec.Thread) {
+		if w.Read(flag) == 0 {
+			w.Write(flag, 1)
+			w.Close(ch)
+		}
+	}
+	a := t.Go("a", closer)
+	b := t.Go("b", closer)
+	c := t.Go("c", func(w *exec.Thread) {
+		w.TryRecv(ch)
+	})
+	t.JoinAll(a, b, c)
+}
+
+// missingRecvProgram: the consumer decides how many values to drain from
+// a racy non-atomic counter; reading it before the last producer bumps
+// it strands that producer on a rendezvous send forever.
+func missingRecvProgram(t *exec.Thread) {
+	ch := t.NewChan("ch", 0)
+	n := t.NewVar("n", 0)
+	producer := func(w *exec.Thread) {
+		w.Add(n, 1) // non-atomic: read and write are separate steps
+		w.Send(ch, 1)
+	}
+	p1 := t.Go("p1", producer)
+	p2 := t.Go("p2", producer)
+	c := t.Go("c", func(w *exec.Thread) {
+		k := w.Read(n)
+		for i := int64(0); i < k; i++ {
+			w.Recv(ch)
+		}
+	})
+	t.JoinAll(p1, p2, c)
+}
+
+// wgPipelineProgram: WaitGroup-gated drain of a buffered results channel.
+func wgPipelineProgram(t *exec.Thread) {
+	ch := t.NewChan("ch", 2)
+	wg := t.NewWaitGroup("wg")
+	t.WgAdd(wg, 2)
+	worker := func(v int64) exec.Program {
+		return func(w *exec.Thread) {
+			w.Send(ch, v)
+			w.WgDone(wg)
+		}
+	}
+	a := t.Go("a", worker(3))
+	b := t.Go("b", worker(4))
+	t.WgWait(wg)
+	// Both sends happen-before the waits' return: the buffer holds both.
+	v1, _ := t.Recv(ch)
+	v2, _ := t.Recv(ch)
+	t.Assertf(v1+v2 == 7, "sum %d, want 7", v1+v2)
+	t.JoinAll(a, b)
+}

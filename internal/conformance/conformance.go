@@ -73,6 +73,10 @@ type Options struct {
 	MaxCandidates int
 	// Gen bounds the program grammar (see progen.Options).
 	Gen progen.Options
+	// Grammar names the progen grammar to draw from ("core", "chan",
+	// "sync", "all"; default "core"). A non-empty value overrides
+	// Gen.Features.
+	Grammar string
 	// Telemetry, if non-nil, receives conformance metrics and events.
 	Telemetry telemetry.Sink
 	// Progress, if non-nil, is called after each checked program.
@@ -103,6 +107,13 @@ func (o *Options) fill() {
 	}
 	if o.MaxCandidates <= 0 {
 		o.MaxCandidates = 6 * o.Programs
+	}
+	if o.Grammar != "" {
+		f, err := progen.ParseGrammar(o.Grammar)
+		if err != nil {
+			panic(fmt.Sprintf("conformance: %v", err))
+		}
+		o.Gen.Features = f
 	}
 }
 
@@ -359,6 +370,7 @@ func RunContext(ctx context.Context, opts Options) *Report {
 	opts.fill()
 	rep := &Report{
 		Seed:        opts.Seed,
+		Grammar:     progen.GrammarName(opts.Gen.Features),
 		Budget:      opts.Budget,
 		GTBudget:    opts.GTBudget,
 		Trials:      opts.Trials,

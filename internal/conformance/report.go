@@ -30,10 +30,12 @@ type ToolReport struct {
 
 // Report is the outcome of one conformance run.
 type Report struct {
-	Seed     int64 `json:"seed"`
-	Budget   int   `json:"budget"`
-	GTBudget int   `json:"gt_budget"`
-	Trials   int   `json:"trials"`
+	Seed int64 `json:"seed"`
+	// Grammar names the progen grammar the run drew programs from.
+	Grammar  string `json:"grammar,omitempty"`
+	Budget   int    `json:"budget"`
+	GTBudget int    `json:"gt_budget"`
+	Trials   int    `json:"trials"`
 	// Programs counts checked programs; Skipped the candidates whose
 	// decision tree did not enumerate within GTBudget.
 	Programs int `json:"programs"`
@@ -60,8 +62,12 @@ func (r *Report) OK() bool { return r.Err == "" && len(r.Violations) == 0 }
 // Summary renders the deterministic human-readable report.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "conformance: seed %d, %d programs checked (%d skipped), budget %d, gt-budget %d\n",
-		r.Seed, r.Programs, r.Skipped, r.Budget, r.GTBudget)
+	grammar := r.Grammar
+	if grammar == "" {
+		grammar = "core"
+	}
+	fmt.Fprintf(&b, "conformance: seed %d, grammar %s, %d programs checked (%d skipped), budget %d, gt-budget %d\n",
+		r.Seed, grammar, r.Programs, r.Skipped, r.Budget, r.GTBudget)
 	fmt.Fprintf(&b, "ground truth: %d executions enumerated; %d rf-pairs, %d failure behaviors, %d final states\n",
 		r.GTExecutions, r.GTPairs, r.GTFailures, r.GTFinals)
 	if len(r.Checkpoints) > 0 {

@@ -43,7 +43,7 @@ type Artifact struct {
 // opFromString inverts Op.String for the ops that appear in abstract
 // events.
 func opFromString(s string) (exec.Op, error) {
-	for op := exec.Op(1); op <= exec.OpBarrier; op++ {
+	for op := exec.Op(1); int(op) < exec.NumOps; op++ {
 		if op.String() == s {
 			return op, nil
 		}

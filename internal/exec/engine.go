@@ -271,7 +271,9 @@ func (e *Engine) enabledThreads() []*Thread {
 
 // enabled implements the enabledness rules: locks need a free mutex,
 // condition reacquires additionally need a signal, joins need an exited
-// target; everything else is always enabled.
+// target, unbuffered sends need a parked receiver, receives need a
+// delivered value or a closed channel, WaitGroup waits need a zero
+// counter; everything else is always enabled.
 func (e *Engine) enabled(th *Thread) bool {
 	p := th.pending
 	switch p.Op {
@@ -294,9 +296,89 @@ func (e *Engine) enabled(th *Thread) bool {
 			return true
 		}
 		return e.barrierArrivals(o) >= int(o.val)
+	case OpSend:
+		o := e.objs[p.Var-1]
+		if o.closed {
+			return true // crashes with send-on-closed when scheduled
+		}
+		if o.cap > 0 {
+			return len(o.buf) < o.cap
+		}
+		return e.chanReceiver(o, th) != nil
+	case OpRecv:
+		if th.chanMatched {
+			return true
+		}
+		o := e.objs[p.Var-1]
+		return len(o.buf) > 0 || o.closed
+	case OpSelect:
+		if th.chanMatched {
+			return true
+		}
+		for _, c := range p.Cases {
+			if e.caseReady(c, th) {
+				return true
+			}
+		}
+		return false
+	case OpWgWait:
+		return e.objs[p.Var-1].val == 0
 	default:
 		return true
 	}
+}
+
+// chanReceiver returns the lowest-ID parked thread able to complete a
+// rendezvous on the unbuffered channel o: an unmatched thread pending a
+// receive on o, or a select containing a receive case on o. The sender
+// itself is excluded (a thread cannot rendezvous with itself); nil when
+// no receiver is available.
+func (e *Engine) chanReceiver(o *object, sender *Thread) *Thread {
+	for _, th := range e.threads {
+		if th == sender || th.state != tParked || th.chanMatched {
+			continue
+		}
+		p := th.pending
+		if p.Op == OpRecv && p.Var == o.id {
+			return th
+		}
+		if p.Op == OpSelect {
+			for _, c := range p.Cases {
+				if !c.Send && c.Ch.obj == o {
+					return th
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvCaseIndex returns the index of the first receive case on o in the
+// select pending p. The match that set chanMatched guarantees one exists.
+func recvCaseIndex(p Pending, o *object) int {
+	for i, c := range p.Cases {
+		if !c.Send && c.Ch.obj == o {
+			return i
+		}
+	}
+	panic("exec: matched select has no receive case on the channel")
+}
+
+// caseReady reports whether one select arm of thread th could fire right
+// now. A send arm on a closed channel counts as ready: firing it crashes
+// with send-on-closed, exactly like a plain send.
+func (e *Engine) caseReady(c SelectCase, th *Thread) bool {
+	o := c.Ch.obj
+	if c.Send {
+		if o.closed {
+			return true
+		}
+		if o.cap > 0 {
+			return len(o.buf) < o.cap
+		}
+		return e.chanReceiver(o, th) != nil
+	}
+	return len(o.buf) > 0 || o.closed
 }
 
 // barrierArrivals counts the threads parked at the barrier for the
@@ -561,9 +643,181 @@ func (e *Engine) step(th *Thread) {
 		e.record(Event{Thread: th.id, Op: OpBarrier, Var: o.id, VarStr: o.name, Loc: p.Loc})
 		e.resume(th)
 
+	case OpSend:
+		o := e.objs[p.Var-1]
+		if e.execSend(th, o, p.Val, p.Loc) {
+			e.resume(th)
+		}
+
+	case OpRecv:
+		o := e.objs[p.Var-1]
+		e.execRecv(th, o, p.Loc)
+		e.resume(th)
+
+	case OpClose:
+		o := e.objs[p.Var-1]
+		if o.closed {
+			e.failure = &Failure{Kind: FailCloseClosed,
+				Msg: fmt.Sprintf("close of closed channel %q", o.name), Thread: th.id, Loc: p.Loc}
+			return
+		}
+		o.closed = true
+		o.closeEv = e.record(Event{Thread: th.id, Op: OpClose, Var: o.id, VarStr: o.name, Loc: p.Loc})
+		e.resume(th)
+
+	case OpTrySend:
+		o := e.objs[p.Var-1]
+		if o.closed {
+			e.failure = &Failure{Kind: FailSendClosed,
+				Msg: fmt.Sprintf("send on closed channel %q", o.name), Thread: th.id, Loc: p.Loc}
+			return
+		}
+		ev := Event{Thread: th.id, Op: OpTrySend, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: p.Val}
+		th.retOK = false
+		switch {
+		case o.cap > 0 && len(o.buf) < o.cap:
+			ev.Ok = true
+			id := e.record(ev)
+			o.buf = append(o.buf, chanElem{val: p.Val, src: id})
+			th.retOK = true
+		case o.cap == 0:
+			if rcv := e.chanReceiver(o, th); rcv != nil {
+				ev.Ok = true
+				e.deliver(rcv, o, p.Val, e.record(ev))
+				th.retOK = true
+			} else {
+				e.record(ev) // would block: recorded no-op, no edge
+			}
+		default:
+			e.record(ev) // buffer full: recorded no-op, no edge
+		}
+		e.resume(th)
+
+	case OpTryRecv:
+		o := e.objs[p.Var-1]
+		ev := Event{Thread: th.id, Op: OpTryRecv, Var: o.id, VarStr: o.name, Loc: p.Loc}
+		th.retVal, th.retOK, th.retRecvd = 0, false, false
+		switch {
+		case len(o.buf) > 0:
+			el := o.buf[0]
+			o.buf = o.buf[1:]
+			ev.Val, ev.RF, ev.Ok = el.val, el.src, true
+			th.retVal, th.retOK, th.retRecvd = el.val, true, true
+		case o.closed:
+			ev.RF = o.closeEv // closed and drained: reads-from the close
+			th.retRecvd = true
+		}
+		e.record(ev)
+		e.resume(th)
+
+	case OpSelect:
+		if th.chanMatched {
+			// A sender already committed this select to its matched
+			// receive case; complete the handoff.
+			i := th.chanCase
+			e.execRecv(th, p.Cases[i].Ch.obj, p.Loc)
+			th.retCase = i
+			e.resume(th)
+			return
+		}
+		fired := -1
+		for i, c := range p.Cases {
+			if e.caseReady(c, th) {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 {
+			panic("exec: select scheduled with no ready case")
+		}
+		c := p.Cases[fired]
+		th.retCase = fired
+		if c.Send {
+			if !e.execSend(th, c.Ch.obj, c.Val, p.Loc) {
+				return // send-on-closed crash
+			}
+			th.retVal, th.retOK = 0, true
+		} else {
+			e.execRecv(th, c.Ch.obj, p.Loc)
+		}
+		e.resume(th)
+
+	case OpWgAdd:
+		o := e.objs[p.Var-1]
+		o.val += p.Val
+		if o.val < 0 {
+			e.misuse(th, fmt.Sprintf("negative WaitGroup counter on %q", o.name))
+			return
+		}
+		o.lastWrite = e.record(Event{Thread: th.id, Op: OpWgAdd, Var: o.id, VarStr: o.name, Loc: p.Loc, Val: o.val})
+		e.resume(th)
+
+	case OpWgWait:
+		o := e.objs[p.Var-1]
+		e.record(Event{Thread: th.id, Op: OpWgWait, Var: o.id, VarStr: o.name, Loc: p.Loc, RF: o.lastWrite})
+		e.resume(th)
+
 	default:
 		panic(fmt.Sprintf("exec: unschedulable pending op %v", p.Op))
 	}
+}
+
+// execSend applies send semantics for th on channel o at loc: crash on a
+// closed channel, enqueue on a buffered one, deliver into the matched
+// receiver's transfer slot on a rendezvous. Returns false when the send
+// crashed (the execution ends; th is not resumed).
+func (e *Engine) execSend(th *Thread, o *object, val int64, loc string) bool {
+	if o.closed {
+		e.failure = &Failure{Kind: FailSendClosed,
+			Msg: fmt.Sprintf("send on closed channel %q", o.name), Thread: th.id, Loc: loc}
+		return false
+	}
+	ev := Event{Thread: th.id, Op: OpSend, Var: o.id, VarStr: o.name, Loc: loc, Val: val}
+	if o.cap > 0 {
+		id := e.record(ev)
+		o.buf = append(o.buf, chanElem{val: val, src: id})
+		return true
+	}
+	rcv := e.chanReceiver(o, th)
+	if rcv == nil {
+		panic("exec: unbuffered send scheduled with no receiver parked")
+	}
+	e.deliver(rcv, o, val, e.record(ev))
+	return true
+}
+
+// deliver deposits a rendezvous value into the receiver's transfer slot.
+// The receiver's pending (plain receive or select) becomes enabled and
+// records its receive event — reading-from sendID — when scheduled.
+func (e *Engine) deliver(rcv *Thread, o *object, val int64, sendID int) {
+	rcv.chanMatched = true
+	rcv.chanVal = val
+	rcv.chanRF = sendID
+	if rcv.pending.Op == OpSelect {
+		rcv.chanCase = recvCaseIndex(rcv.pending, o)
+	} else {
+		rcv.chanCase = 0
+	}
+}
+
+// execRecv applies receive semantics for th on channel o at loc: drain
+// the transfer slot (rendezvous match), pop the buffer head, or observe
+// the close of a drained channel. Sets the thread's return values.
+func (e *Engine) execRecv(th *Thread, o *object, loc string) {
+	ev := Event{Thread: th.id, Op: OpRecv, Var: o.id, VarStr: o.name, Loc: loc}
+	switch {
+	case th.chanMatched:
+		th.chanMatched = false
+		ev.Val, ev.RF, ev.Ok = th.chanVal, th.chanRF, true
+	case len(o.buf) > 0:
+		el := o.buf[0]
+		o.buf = o.buf[1:]
+		ev.Val, ev.RF, ev.Ok = el.val, el.src, true
+	default: // closed and drained: the zero value, reading-from the close
+		ev.RF = o.closeEv
+	}
+	e.record(ev)
+	th.retVal, th.retOK = ev.Val, ev.Ok
 }
 
 // deadlockFailure builds the failure report for a detected deadlock.

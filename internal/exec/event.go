@@ -22,6 +22,10 @@ type Event struct {
 	// fetch-add, swap): they synchronize rather than race, which the
 	// happens-before race detector relies on.
 	Atomic bool
+	// Ok marks successful channel operations: a receive that observed a
+	// sent value (false for the zero value of a closed drained channel)
+	// and a try-send/try-recv that went through. False elsewhere.
+	Ok     bool
 	Target ThreadID
 	// Target is the spawned thread for OpSpawn and the joined thread for
 	// OpJoin; 0 otherwise.
@@ -46,6 +50,13 @@ func (e Event) String() string {
 		s += fmt.Sprintf("=%d<-#%d", e.Val, e.RF)
 	case e.Op.IsWrite():
 		s += fmt.Sprintf("=%d", e.Val)
+	case e.Op == OpRecv || e.Op == OpTryRecv:
+		s += fmt.Sprintf("=%d,ok=%t<-#%d", e.Val, e.Ok, e.RF)
+	case e.Op == OpSend || e.Op == OpTrySend:
+		s += fmt.Sprintf("=%d", e.Val)
+		if e.Op == OpTrySend {
+			s += fmt.Sprintf(",ok=%t", e.Ok)
+		}
 	case e.Op == OpSpawn || e.Op == OpJoin:
 		s += fmt.Sprintf("->t%d", e.Target)
 	}

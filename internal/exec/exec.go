@@ -92,6 +92,36 @@ const (
 	// OpBarrier joins a barrier; enabled once the final participant has
 	// arrived (the engine releases all waiters in arrival order).
 	OpBarrier
+	// OpSend sends a value on a channel. On an unbuffered channel it is
+	// enabled only while a receiver is parked on the channel (rendezvous);
+	// on a buffered channel while there is capacity. Sending on a closed
+	// channel crashes with FailSendClosed, matching Go.
+	OpSend
+	// OpRecv receives from a channel; enabled once a value has been
+	// delivered (rendezvous match or buffered element) or the channel is
+	// closed. A receive from a closed, drained channel reads-from the
+	// close event and observes the zero value.
+	OpRecv
+	// OpClose closes a channel; always enabled. Closing an already-closed
+	// channel crashes with FailCloseClosed.
+	OpClose
+	// OpTrySend is a non-blocking send attempt (select-with-default's send
+	// arm); always enabled, it delivers when the send would not block and
+	// is a recorded no-op otherwise.
+	OpTrySend
+	// OpTryRecv is a non-blocking receive attempt; always enabled, with
+	// three outcomes: a value, closed-and-drained, or would-block.
+	OpTryRecv
+	// OpSelect is the pending marker for a deterministic select over
+	// channel cases. It never appears in a trace: executing a select
+	// records the OpSend/OpRecv event of the case it fires.
+	OpSelect
+	// OpWgAdd adjusts a WaitGroup counter (Done is Add(-1)); always
+	// enabled. Dropping the counter below zero crashes, matching Go.
+	OpWgAdd
+	// OpWgWait blocks until a WaitGroup counter is zero; its event
+	// reads-from the counter update (or init) that released it.
+	OpWgWait
 )
 
 var opNames = [...]string{
@@ -118,7 +148,20 @@ var opNames = [...]string{
 	OpSemWait:   "semwait",
 	OpSemPost:   "sempost",
 	OpBarrier:   "barrier",
+	OpSend:      "send",
+	OpRecv:      "recv",
+	OpClose:     "close",
+	OpTrySend:   "trysend",
+	OpTryRecv:   "tryrecv",
+	OpSelect:    "select",
+	OpWgAdd:     "wgadd",
+	OpWgWait:    "wgwait",
 }
+
+// NumOps is the number of defined ops (including OpNone); valid ops are
+// Op(1) .. Op(NumOps-1). Consumers that enumerate the vocabulary (e.g.
+// artifact decoding) range over this instead of naming the last op.
+const NumOps = len(opNames)
 
 // String returns the short mnemonic used in traces and abstract events.
 func (o Op) String() string {
@@ -142,22 +185,38 @@ func (o Op) IsRead() bool { return o == OpRead }
 // wrote — the paper's instrumentation intercepts exactly those accesses,
 // which is what lets RFF steer acquisition order with reads-from
 // constraints. (A successful OpTryLock also carries an edge; a failed one
-// does not.)
+// does not.) Channel receives read-from the send that produced the value
+// (or the close, when drained), and a WaitGroup wait reads-from the
+// counter update that released it — so channel and WaitGroup
+// communication is visible to the reads-from feedback exactly like
+// memory. (A would-block OpTryRecv carries no edge.)
 func (o Op) ReadsFrom() bool {
 	switch o {
-	case OpRead, OpLock, OpLockRe, OpWLock, OpRLock, OpSemWait, OpTryLock:
+	case OpRead, OpLock, OpLockRe, OpWLock, OpRLock, OpSemWait, OpTryLock,
+		OpRecv, OpTryRecv, OpWgWait:
 		return true
 	}
 	return false
 }
 
 // ActsAsWrite reports whether events of this op can be the source of a
-// reads-from edge: memory stores, variable initialization, and the
-// sync-word updates performed by acquisitions and releases.
+// reads-from edge: memory stores, variable initialization, the sync-word
+// updates performed by acquisitions and releases, channel sends and
+// closes, and WaitGroup counter updates.
 func (o Op) ActsAsWrite() bool {
 	switch o {
 	case OpWrite, OpVarInit, OpLock, OpLockRe, OpUnlock, OpWait,
-		OpWLock, OpWUnlock, OpRLock, OpRUnlock, OpSemWait, OpSemPost, OpTryLock:
+		OpWLock, OpWUnlock, OpRLock, OpRUnlock, OpSemWait, OpSemPost, OpTryLock,
+		OpSend, OpTrySend, OpClose, OpWgAdd:
+		return true
+	}
+	return false
+}
+
+// IsChannel reports whether the op targets a channel.
+func (o Op) IsChannel() bool {
+	switch o {
+	case OpSend, OpRecv, OpClose, OpTrySend, OpTryRecv, OpSelect:
 		return true
 	}
 	return false

@@ -21,14 +21,29 @@ const (
 	// FailPanic is a runtime panic escaping PUT code (e.g. an index out
 	// of range in thread-local logic) — the analogue of a native crash.
 	FailPanic
+	// FailSendClosed is a send (or non-blocking send attempt) on a closed
+	// channel — the Go runtime panic "send on closed channel", promoted
+	// to its own kind because it is the signature channel-race bug class.
+	FailSendClosed
+	// FailCloseClosed is a close of an already-closed channel (Go's
+	// "close of closed channel" panic).
+	FailCloseClosed
 )
 
 var failureNames = [...]string{
-	FailAssert:   "assertion violation",
-	FailDeadlock: "deadlock",
-	FailMemory:   "memory-safety violation",
-	FailPanic:    "panic",
+	FailAssert:      "assertion violation",
+	FailDeadlock:    "deadlock",
+	FailMemory:      "memory-safety violation",
+	FailPanic:       "panic",
+	FailSendClosed:  "send on closed channel",
+	FailCloseClosed: "close of closed channel",
 }
+
+// NumFailureKinds is the number of defined kinds (including the zero
+// "unknown"); valid kinds are FailureKind(1) .. FailureKind(NumFailureKinds-1).
+// Consumers that invert String (e.g. artifact decoding, triage) range
+// over this instead of naming the last kind.
+const NumFailureKinds = len(failureNames)
 
 // String names the failure kind.
 func (k FailureKind) String() string {

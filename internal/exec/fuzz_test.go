@@ -1,0 +1,131 @@
+package exec_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rff/internal/core"
+	"rff/internal/exec"
+	"rff/internal/sched"
+)
+
+// chanProgramFromBytes interprets data as opcode streams for three
+// workers over two channels (one rendezvous, one buffered) and a
+// WaitGroup. Any byte string yields a terminating, loop-free program:
+// every schedule either completes, deadlocks, or crashes with one of the
+// channel failure kinds — all legitimate engine outcomes, never panics.
+func chanProgramFromBytes(data []byte) exec.Program {
+	const perWorker = 6
+	return func(t *exec.Thread) {
+		chans := []*exec.Chan{t.NewChan("c0", 0), t.NewChan("c1", 1)}
+		wg := t.NewWaitGroup("wg")
+		t.WgAdd(wg, 3)
+		names := []string{"w1", "w2", "w3"}
+		var workers []*exec.Thread
+		for w := 0; w < 3; w++ {
+			var ops []byte
+			for i := w; i < len(data) && len(ops) < perWorker; i += 3 {
+				ops = append(ops, data[i])
+			}
+			workers = append(workers, t.Go(names[w], func(w *exec.Thread) {
+				for _, b := range ops {
+					fuzzOp(w, b, chans, wg)
+				}
+				w.WgDone(wg)
+			}))
+		}
+		t.WgWait(wg)
+		t.JoinAll(workers...)
+	}
+}
+
+// fuzzOp executes one opcode. Blocking ops can strand the worker (a
+// detectable deadlock); close and send can crash — both are outcomes the
+// engine must report cleanly.
+func fuzzOp(w *exec.Thread, b byte, chans []*exec.Chan, wg *exec.WaitGroup) {
+	ch := chans[(b>>4)&1]
+	switch b % 8 {
+	case 0:
+		w.TrySend(ch, int64(b))
+	case 1:
+		w.TryRecv(ch)
+	case 2:
+		w.Send(ch, int64(b))
+	case 3:
+		w.Recv(ch)
+	case 4:
+		w.Close(ch)
+	case 5:
+		w.Select(exec.RecvCase(chans[0]), exec.SendCase(chans[1], int64(b)))
+	case 6:
+		w.Yield()
+	case 7:
+		w.WgAdd(wg, int64(b%3))
+	}
+}
+
+// FuzzChanProgram: for any opcode string and scheduler seed, the engine
+// neither panics nor records an invalid trace; the decision sequence
+// replays to a bit-identical trace; and a failing run's artifact
+// round-trips through encode/decode and reproduces the same failure.
+func FuzzChanProgram(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{2, 3, 6}, int64(1))                   // rendezvous handoff
+	f.Add([]byte{4, 2, 4}, int64(2))                   // close, send-on-closed, close-of-closed
+	f.Add([]byte{5, 2, 3, 0x12, 0x11, 0x14}, int64(3)) // select + buffered channel ops
+	f.Add([]byte{7, 7, 7, 2, 2, 2}, int64(4))          // WaitGroup skew + stranded sends
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		prog := chanProgramFromBytes(data)
+		res := exec.Run("fuzz/chan", prog, exec.Config{
+			Scheduler: sched.NewRandom(), Seed: seed, MaxSteps: 2048,
+		})
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("invalid trace: %v\n%s", err, res.Trace)
+		}
+
+		rep := exec.Run("fuzz/chan", prog, exec.Config{
+			Scheduler: sched.NewReplay(res.Trace.ThreadOrder()), MaxSteps: 2048,
+		})
+		if res.Trace.String() != rep.Trace.String() {
+			t.Fatalf("replay diverged:\n%s\nvs\n%s", res.Trace, rep.Trace)
+		}
+		if res.Buggy() != rep.Buggy() || (res.Buggy() && res.Failure.Kind != rep.Failure.Kind) {
+			t.Fatalf("replay failure mismatch: %v vs %v", res.Failure, rep.Failure)
+		}
+
+		if !res.Buggy() {
+			return
+		}
+		// A failing run must survive the artifact round-trip and still
+		// reproduce the same failure kind from the decoded decisions.
+		art := &core.Artifact{
+			Program:     "fuzz/chan",
+			Seed:        seed,
+			FailureKind: res.Failure.Kind.String(),
+			FailureMsg:  res.Failure.Msg,
+			FailureLoc:  res.Failure.Loc,
+			Thread:      int32(res.Failure.Thread),
+		}
+		for _, d := range res.Trace.ThreadOrder() {
+			art.Decisions = append(art.Decisions, int32(d))
+		}
+		raw, err := json.Marshal(art)
+		if err != nil {
+			t.Fatalf("encoding artifact: %v", err)
+		}
+		dec, err := core.DecodeArtifact(raw)
+		if err != nil {
+			t.Fatalf("decoding artifact: %v", err)
+		}
+		order := make([]exec.ThreadID, len(dec.Decisions))
+		for i, d := range dec.Decisions {
+			order[i] = exec.ThreadID(d)
+		}
+		rerun := exec.Run("fuzz/chan", prog, exec.Config{
+			Scheduler: sched.NewReplay(order), MaxSteps: 2048,
+		})
+		if !rerun.Buggy() || rerun.Failure.Kind.String() != dec.FailureKind {
+			t.Fatalf("artifact replay did not reproduce %q: %v", dec.FailureKind, rerun.Failure)
+		}
+	})
+}

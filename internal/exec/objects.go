@@ -11,7 +11,17 @@ const (
 	objRWMutex
 	objSemaphore
 	objBarrier
+	objChan
+	objWaitGroup
 )
+
+// chanElem is one buffered channel element together with the trace ID of
+// the send that produced it — the reads-from source of the receive that
+// will pop it.
+type chanElem struct {
+	val int64
+	src int
+}
 
 // object is the engine-side record for one shared object.
 type object struct {
@@ -37,6 +47,12 @@ type object struct {
 	// barriers (val doubles as the party count; semaphores use val as
 	// the live count)
 	releasing map[*Thread]bool
+
+	// channels (val doubles as the WaitGroup counter)
+	cap     int        // buffer capacity (0 = rendezvous)
+	buf     []chanElem // FIFO buffered elements
+	closed  bool
+	closeEv int // trace ID of the OpClose event, once closed
 }
 
 // Var is a shared integer variable: the PUT-visible handle for one shared
@@ -127,3 +143,36 @@ func (b *Barrier) ID() VarID { return b.obj.id }
 
 // Parties returns the number of threads the barrier synchronizes.
 func (b *Barrier) Parties() int { return int(b.obj.val) }
+
+// Chan is a typed integer channel with Go semantics: unbuffered channels
+// rendezvous (a send is enabled only while a receiver is parked on the
+// channel), buffered channels queue up to Cap values FIFO, receives on a
+// closed drained channel yield (0, false), sends on a closed channel
+// crash. Every operation is one scheduling point.
+type Chan struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the channel.
+func (c *Chan) Name() string { return c.obj.name }
+
+// ID returns the channel's per-execution ID.
+func (c *Chan) ID() VarID { return c.obj.id }
+
+// Cap returns the buffer capacity (0 for an unbuffered channel).
+func (c *Chan) Cap() int { return c.obj.cap }
+
+// WaitGroup is a sync.WaitGroup analogue: Add moves the counter, Done is
+// Add(-1), WgWait blocks until the counter is zero. A negative counter
+// crashes, matching Go.
+type WaitGroup struct {
+	obj *object
+	eng *Engine
+}
+
+// Name returns the stable name of the WaitGroup.
+func (w *WaitGroup) Name() string { return w.obj.name }
+
+// ID returns the WaitGroup's per-execution ID.
+func (w *WaitGroup) ID() VarID { return w.obj.id }

@@ -39,7 +39,25 @@ type Pending struct {
 	// Failure metadata for OpFail pendings.
 	FailKind FailureKind
 	FailMsg  string
+
+	// Cases holds the channel cases of an OpSelect pending (Var is 0; a
+	// select targets several channels at once).
+	Cases []SelectCase
 }
+
+// SelectCase is one arm of a deterministic select: a send of Val on Ch,
+// or a receive from Ch. Build cases with SendCase and RecvCase.
+type SelectCase struct {
+	Ch   *Chan
+	Send bool
+	Val  int64
+}
+
+// SendCase returns a select arm that sends v on ch.
+func SendCase(ch *Chan, v int64) SelectCase { return SelectCase{Ch: ch, Send: true, Val: v} }
+
+// RecvCase returns a select arm that receives from ch.
+func RecvCase(ch *Chan) SelectCase { return SelectCase{Ch: ch} }
 
 // Abstract projects the pending operation to the abstract event it would
 // instantiate if executed. For RMWs this is the read half; use
@@ -55,7 +73,8 @@ func (p Pending) Abstract() AbstractEvent {
 // itself, since later acquisitions read-from the recorded lock event.
 func (p Pending) AbstractWrite() (AbstractEvent, bool) {
 	switch {
-	case p.Op == OpWrite, p.Op == OpLock, p.Op == OpLockRe, p.Op == OpUnlock, p.Op == OpWait:
+	case p.Op == OpWrite, p.Op == OpLock, p.Op == OpLockRe, p.Op == OpUnlock, p.Op == OpWait,
+		p.Op == OpSend, p.Op == OpClose, p.Op == OpWgAdd:
 		return p.Abstract(), true
 	case p.RMW != RMWNone:
 		return AbstractEvent{Op: OpWrite, Var: p.VarName, Loc: p.Loc}, true
@@ -88,10 +107,28 @@ type View struct {
 // LastWrite returns the abstract event and trace ID of the most recent
 // reads-from source on the named shared object — the last write for a data
 // variable, the last lock-word update for a mutex (the synthetic init
-// event if untouched). ok is false if no such object exists yet.
+// event if untouched). For a channel it is the event the *next* receive
+// would read-from: the send at the head of the buffer, or the close once
+// drained — the definition the proactive constraint machines need to
+// judge whether a target send is currently observable. ok is false if no
+// such object (or source) exists yet.
 func (v *View) LastWrite(varName string) (ae AbstractEvent, id int, ok bool) {
 	o := v.eng.objByName[varName]
-	if o == nil || o.lastWrite == 0 {
+	if o == nil {
+		return AbstractEvent{}, 0, false
+	}
+	if o.kind == objChan {
+		switch {
+		case len(o.buf) > 0:
+			id = o.buf[0].src
+		case o.closed:
+			id = o.closeEv
+		default:
+			return AbstractEvent{}, 0, false
+		}
+		return v.eng.trace.Event(id).Abstract(), id, true
+	}
+	if o.lastWrite == 0 {
 		return AbstractEvent{}, 0, false
 	}
 	return v.eng.trace.Event(o.lastWrite).Abstract(), o.lastWrite, true
@@ -119,6 +156,12 @@ func Races(a, b Pending) bool {
 		return false
 	}
 	if a.Op == OpLock && b.Op == OpLock {
+		return true
+	}
+	if a.Op.IsChannel() && b.Op.IsChannel() {
+		// Every pair of channel operations on the same channel conflicts:
+		// even two receives compete for the same queue elements, so their
+		// order is observable. (Selects have Var 0 and never reach here.)
 		return true
 	}
 	dataA := a.IsReadLike() || a.IsWriteLike()

@@ -42,9 +42,20 @@ type Thread struct {
 	newObj   *object // object being registered by an OpVarInit park
 	newChild *Thread // child being registered by an OpSpawn park
 
+	// channel rendezvous transfer slot: a sender executing against this
+	// parked receiver (a plain recv or a select with a matching recv
+	// case) deposits the value here; the receiver's pending becomes
+	// enabled and completes the handoff when scheduled.
+	chanMatched bool
+	chanVal     int64
+	chanRF      int // trace ID of the matching send event
+	chanCase    int // select case index the match bound (0 for plain recv)
+
 	// results handed back by the engine on grant
-	retVal int64
-	retOK  bool
+	retVal   int64
+	retOK    bool
+	retRecvd bool // TryRecv: a receive happened (value or closed), vs would-block
+	retCase  int  // Select: index of the fired case
 }
 
 // ID returns the thread's ID (main is 1; children numbered in spawn order).
@@ -261,6 +272,13 @@ func (t *Thread) Wait(c *Cond) {
 	t.park(Pending{Op: OpLockRe, Var: c.obj.mutex.obj.id, VarName: c.obj.mutex.obj.name, Loc: loc})
 }
 
+// WaitAt is Wait with an explicit source location.
+func (t *Thread) WaitAt(c *Cond, loc string) {
+	t.park(Pending{Op: OpWait, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+	t.signaled = false
+	t.park(Pending{Op: OpLockRe, Var: c.obj.mutex.obj.id, VarName: c.obj.mutex.obj.name, Loc: loc})
+}
+
 // Signal wakes the longest-waiting thread blocked on the condition, if any;
 // a signal with no waiters is lost (pthread semantics — the source of
 // several SCTBench bugs).
@@ -268,9 +286,19 @@ func (t *Thread) Signal(c *Cond) {
 	t.park(Pending{Op: OpSignal, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
 }
 
+// SignalAt is Signal with an explicit source location.
+func (t *Thread) SignalAt(c *Cond, loc string) {
+	t.park(Pending{Op: OpSignal, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+}
+
 // Broadcast wakes all threads currently blocked on the condition.
 func (t *Thread) Broadcast(c *Cond) {
 	t.park(Pending{Op: OpBroadcast, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+}
+
+// BroadcastAt is Broadcast with an explicit source location.
+func (t *Thread) BroadcastAt(c *Cond, loc string) {
+	t.park(Pending{Op: OpBroadcast, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
 }
 
 // --- threads -------------------------------------------------------------------
@@ -368,9 +396,19 @@ func (t *Thread) RLock(m *RWMutex) {
 	t.park(Pending{Op: OpRLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
 }
 
+// RLockAt is RLock with an explicit source location.
+func (t *Thread) RLockAt(m *RWMutex, loc string) {
+	t.park(Pending{Op: OpRLock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
+}
+
 // RUnlock releases a shared hold.
 func (t *Thread) RUnlock(m *RWMutex) {
 	t.park(Pending{Op: OpRUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// RUnlockAt is RUnlock with an explicit source location.
+func (t *Thread) RUnlockAt(m *RWMutex, loc string) {
+	t.park(Pending{Op: OpRUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
 }
 
 // WLock acquires the lock exclusively; enabled only once every reader and
@@ -379,9 +417,19 @@ func (t *Thread) WLock(m *RWMutex) {
 	t.park(Pending{Op: OpWLock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
 }
 
+// WLockAt is WLock with an explicit source location.
+func (t *Thread) WLockAt(m *RWMutex, loc string) {
+	t.park(Pending{Op: OpWLock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
+}
+
 // WUnlock releases the exclusive hold.
 func (t *Thread) WUnlock(m *RWMutex) {
 	t.park(Pending{Op: OpWUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: callerLoc(1)})
+}
+
+// WUnlockAt is WUnlock with an explicit source location.
+func (t *Thread) WUnlockAt(m *RWMutex, loc string) {
+	t.park(Pending{Op: OpWUnlock, Var: m.obj.id, VarName: m.obj.name, Loc: loc})
 }
 
 // TryLock attempts to acquire the mutex without blocking, reporting
@@ -427,4 +475,159 @@ func (t *Thread) NewBarrier(name string, parties int) *Barrier {
 // (pthread_barrier_wait).
 func (t *Thread) BarrierWait(b *Barrier) {
 	t.park(Pending{Op: OpBarrier, Var: b.obj.id, VarName: b.obj.name, Loc: callerLoc(1)})
+}
+
+// --- channels ---------------------------------------------------------------------
+
+// NewChan creates a channel with the given buffer capacity (0 =
+// unbuffered rendezvous). Names must be unique per execution.
+func (t *Thread) NewChan(name string, capacity int) *Chan {
+	if capacity < 0 {
+		capacity = 0
+	}
+	o := &object{kind: objChan, name: name, cap: capacity}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1), Val: int64(capacity)})
+	return &Chan{obj: o, eng: t.eng}
+}
+
+// Send sends v on the channel: on an unbuffered channel it blocks until a
+// receiver is parked on the channel (rendezvous), on a buffered channel
+// until there is capacity. Sending on a closed channel crashes with
+// FailSendClosed, matching Go.
+func (t *Thread) Send(c *Chan, v int64) {
+	t.park(Pending{Op: OpSend, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1), Val: v})
+}
+
+// SendAt is Send with an explicit source location.
+func (t *Thread) SendAt(c *Chan, v int64, loc string) {
+	t.park(Pending{Op: OpSend, Var: c.obj.id, VarName: c.obj.name, Loc: loc, Val: v})
+}
+
+// Recv receives from the channel, blocking until a value is available or
+// the channel is closed. Like Go's v, ok := <-ch it returns the value and
+// whether it was a real send (false: closed and drained, v is 0).
+func (t *Thread) Recv(c *Chan) (int64, bool) {
+	t.park(Pending{Op: OpRecv, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+	return t.retVal, t.retOK
+}
+
+// RecvAt is Recv with an explicit source location.
+func (t *Thread) RecvAt(c *Chan, loc string) (int64, bool) {
+	t.park(Pending{Op: OpRecv, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+	return t.retVal, t.retOK
+}
+
+// Close closes the channel. Parked senders become enabled and crash with
+// FailSendClosed when scheduled; receivers drain the buffer and then
+// observe (0, false). Closing twice crashes with FailCloseClosed.
+func (t *Thread) Close(c *Chan) {
+	t.park(Pending{Op: OpClose, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+}
+
+// CloseAt is Close with an explicit source location.
+func (t *Thread) CloseAt(c *Chan, loc string) {
+	t.park(Pending{Op: OpClose, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+}
+
+// TrySend attempts a non-blocking send (select { case ch <- v: default: }),
+// reporting whether the value was delivered. On an unbuffered channel it
+// succeeds only against a parked receiver. Sending on a closed channel
+// crashes even when non-blocking, matching Go.
+func (t *Thread) TrySend(c *Chan, v int64) bool {
+	t.park(Pending{Op: OpTrySend, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1), Val: v})
+	return t.retOK
+}
+
+// TrySendAt is TrySend with an explicit source location.
+func (t *Thread) TrySendAt(c *Chan, v int64, loc string) bool {
+	t.park(Pending{Op: OpTrySend, Var: c.obj.id, VarName: c.obj.name, Loc: loc, Val: v})
+	return t.retOK
+}
+
+// TryRecv attempts a non-blocking receive. recvd reports whether a
+// receive happened at all (would-block: false); ok distinguishes a sent
+// value from the zero value of a closed drained channel. An unbuffered
+// channel only yields closure this way: the engine's rendezvous is
+// sender-active, so a non-blocking receive never pairs with a blocked
+// sender (see DESIGN.md §15).
+func (t *Thread) TryRecv(c *Chan) (v int64, ok, recvd bool) {
+	t.park(Pending{Op: OpTryRecv, Var: c.obj.id, VarName: c.obj.name, Loc: callerLoc(1)})
+	return t.retVal, t.retOK, t.retRecvd
+}
+
+// TryRecvAt is TryRecv with an explicit source location.
+func (t *Thread) TryRecvAt(c *Chan, loc string) (v int64, ok, recvd bool) {
+	t.park(Pending{Op: OpTryRecv, Var: c.obj.id, VarName: c.obj.name, Loc: loc})
+	return t.retVal, t.retOK, t.retRecvd
+}
+
+// Select blocks until one of the cases can fire, then fires exactly one —
+// deterministically the lowest-index ready case, so a (program, schedule)
+// pair always fires the same arm and replay is exact. It returns the
+// fired case's index, and for receive cases the received value and ok
+// flag (Go's v, ok := <-ch). There is no default case: express
+// non-blocking arms with TrySend/TryRecv.
+func (t *Thread) Select(cases ...SelectCase) (idx int, v int64, ok bool) {
+	return t.SelectAt(callerLoc(1), cases...)
+}
+
+// SelectAt is Select with an explicit source location, recorded on
+// whichever case event fires.
+func (t *Thread) SelectAt(loc string, cases ...SelectCase) (idx int, v int64, ok bool) {
+	if len(cases) == 0 {
+		panic("exec: select with no cases")
+	}
+	names := make([]byte, 0, 16)
+	for i, c := range cases {
+		if i > 0 {
+			names = append(names, ',')
+		}
+		names = append(names, c.Ch.obj.name...)
+	}
+	t.park(Pending{Op: OpSelect, VarName: string(names), Loc: loc, Cases: cases})
+	return t.retCase, t.retVal, t.retOK
+}
+
+// --- wait groups ------------------------------------------------------------------
+
+// NewWaitGroup creates a WaitGroup with a zero counter. Names must be
+// unique per execution.
+func (t *Thread) NewWaitGroup(name string) *WaitGroup {
+	o := &object{kind: objWaitGroup, name: name}
+	t.newObj = o
+	t.park(Pending{Op: OpVarInit, VarName: name, Loc: callerLoc(1)})
+	return &WaitGroup{obj: o, eng: t.eng}
+}
+
+// WgAdd moves the WaitGroup counter by delta. A negative counter crashes,
+// matching sync.WaitGroup.
+func (t *Thread) WgAdd(w *WaitGroup, delta int64) {
+	t.park(Pending{Op: OpWgAdd, Var: w.obj.id, VarName: w.obj.name, Loc: callerLoc(1), Val: delta})
+}
+
+// WgAddAt is WgAdd with an explicit source location.
+func (t *Thread) WgAddAt(w *WaitGroup, delta int64, loc string) {
+	t.park(Pending{Op: OpWgAdd, Var: w.obj.id, VarName: w.obj.name, Loc: loc, Val: delta})
+}
+
+// WgDone is WgAdd(-1).
+func (t *Thread) WgDone(w *WaitGroup) {
+	t.park(Pending{Op: OpWgAdd, Var: w.obj.id, VarName: w.obj.name, Loc: callerLoc(1), Val: -1})
+}
+
+// WgDoneAt is WgDone with an explicit source location.
+func (t *Thread) WgDoneAt(w *WaitGroup, loc string) {
+	t.park(Pending{Op: OpWgAdd, Var: w.obj.id, VarName: w.obj.name, Loc: loc, Val: -1})
+}
+
+// WgWait blocks until the WaitGroup counter is zero. Its event reads-from
+// the counter update (or init) that released it.
+func (t *Thread) WgWait(w *WaitGroup) {
+	t.park(Pending{Op: OpWgWait, Var: w.obj.id, VarName: w.obj.name, Loc: callerLoc(1)})
+}
+
+// WgWaitAt is WgWait with an explicit source location.
+func (t *Thread) WgWaitAt(w *WaitGroup, loc string) {
+	t.park(Pending{Op: OpWgWait, Var: w.obj.id, VarName: w.obj.name, Loc: loc})
 }

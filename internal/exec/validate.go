@@ -14,10 +14,70 @@ import "fmt"
 // It returns the first violation found, or nil. Property tests run it
 // against randomly generated programs under every scheduler.
 func (t *Trace) Validate() error {
-	lastWrite := make(map[string]int) // var name -> event ID
+	lastWrite := make(map[string]int)             // var name -> event ID
+	pendingSends := make(map[string]map[int]bool) // chan name -> undelivered send IDs
+	closeOf := make(map[string]int)               // chan name -> OpClose event ID
 	for i, e := range t.Events {
 		if e.ID != i+1 {
 			return fmt.Errorf("event %d has ID %d", i+1, e.ID)
+		}
+		// Channel operations have their own reads-from discipline: a
+		// receive reads-from a *pending* (not-yet-delivered) send on its
+		// channel — delivery order is FIFO per buffer but rendezvous
+		// matching interleaves with it — or from the close once drained.
+		switch e.Op {
+		case OpSend:
+			if pendingSends[e.VarStr] == nil {
+				pendingSends[e.VarStr] = make(map[int]bool)
+			}
+			pendingSends[e.VarStr][e.ID] = true
+			continue
+		case OpTrySend:
+			if e.Ok {
+				if pendingSends[e.VarStr] == nil {
+					pendingSends[e.VarStr] = make(map[int]bool)
+				}
+				pendingSends[e.VarStr][e.ID] = true
+			}
+			continue
+		case OpClose:
+			if prev, dup := closeOf[e.VarStr]; dup {
+				return fmt.Errorf("event %v closes %q already closed at #%d", e, e.VarStr, prev)
+			}
+			closeOf[e.VarStr] = e.ID
+			continue
+		case OpRecv, OpTryRecv:
+			if e.RF == 0 {
+				// Only a would-block TryRecv carries no edge.
+				if e.Op != OpTryRecv || e.Ok {
+					return fmt.Errorf("event %v: receive without reads-from edge", e)
+				}
+				continue
+			}
+			if e.RF <= 0 || e.RF >= e.ID {
+				return fmt.Errorf("event %v: reads-from edge %d out of range", e, e.RF)
+			}
+			src := t.Event(e.RF)
+			switch src.Op {
+			case OpClose:
+				if e.Ok || e.Val != 0 {
+					return fmt.Errorf("event %v reads-from close %v but is not a zero-value receive", e, src)
+				}
+			case OpSend, OpTrySend:
+				if !e.Ok {
+					return fmt.Errorf("event %v reads-from send %v but reports ok=false", e, src)
+				}
+				if e.Val != src.Val {
+					return fmt.Errorf("event %v received %d, sender %v sent %d", e, e.Val, src, src.Val)
+				}
+				if !pendingSends[e.VarStr][e.RF] {
+					return fmt.Errorf("event %v reads-from send %d already delivered or on another channel", e, e.RF)
+				}
+				delete(pendingSends[e.VarStr], e.RF)
+			default:
+				return fmt.Errorf("event %v reads-from %v, not a send or close", e, src)
+			}
+			continue
 		}
 		if e.Op.ReadsFrom() && !(e.Op == OpTryLock && e.Val == 0) {
 			if e.RF <= 0 || e.RF >= e.ID {
@@ -47,7 +107,8 @@ func (t *Trace) Validate() error {
 		// Update last-write tracking mirroring the engine's semantics.
 		switch e.Op {
 		case OpVarInit, OpWrite, OpLock, OpLockRe, OpUnlock,
-			OpWLock, OpWUnlock, OpRLock, OpRUnlock, OpSemWait, OpSemPost:
+			OpWLock, OpWUnlock, OpRLock, OpRUnlock, OpSemWait, OpSemPost,
+			OpWgAdd:
 			lastWrite[e.VarStr] = e.ID
 		case OpTryLock:
 			if e.Val == 1 { // only successful attempts update the word

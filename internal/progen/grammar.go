@@ -1,0 +1,77 @@
+package progen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Features is a bitmask selecting optional grammar productions beyond the
+// core read/write/mutex vocabulary. The zero value is the core grammar,
+// whose draw stream is byte-identical to what the generator emitted
+// before features existed — names like "gen/s42/0007" stay stable.
+type Features uint32
+
+const (
+	// FeatChan adds channel productions: send, receive, close,
+	// try-send/try-recv, and two-case selects over the program's
+	// channels. Reachable new failure kinds: send-on-closed,
+	// close-of-closed, and channel deadlock.
+	FeatChan Features = 1 << iota
+	// FeatWaitGroup adds a WaitGroup joining a subset of the workers,
+	// with occasional add/done mismatches (a counter deadlock or a
+	// negative-counter panic).
+	FeatWaitGroup
+	// FeatCond adds condition-variable waits (inside the bound mutex's
+	// region) and signal/broadcast statements.
+	FeatCond
+	// FeatRWMutex adds reader/writer lock regions.
+	FeatRWMutex
+)
+
+// grammars maps the named grammars the CLI and conformance harness
+// expose to their feature sets.
+var grammars = map[string]Features{
+	"core": 0,
+	"chan": FeatChan | FeatWaitGroup,
+	"sync": FeatCond | FeatRWMutex,
+	"all":  FeatChan | FeatWaitGroup | FeatCond | FeatRWMutex,
+}
+
+// ParseGrammar resolves a grammar name ("core", "chan", "sync", "all" —
+// or a raw "f<hex>" feature mask for unregistered combinations) to its
+// feature set.
+func ParseGrammar(name string) (Features, error) {
+	if f, ok := grammars[name]; ok {
+		return f, nil
+	}
+	if hex, found := strings.CutPrefix(name, "f"); found {
+		if v, err := strconv.ParseUint(hex, 16, 32); err == nil {
+			return Features(v), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown grammar %q (have %s)", name, strings.Join(Grammars(), ", "))
+}
+
+// GrammarName inverts ParseGrammar: the registered name when one exists,
+// the "f<hex>" encoding otherwise. The result round-trips through
+// ParseGrammar, which is what keeps generated-program names replayable.
+func GrammarName(f Features) string {
+	for name, feats := range grammars {
+		if feats == f {
+			return name
+		}
+	}
+	return fmt.Sprintf("f%x", uint32(f))
+}
+
+// Grammars lists the registered grammar names, sorted.
+func Grammars() []string {
+	names := make([]string, 0, len(grammars))
+	for name := range grammars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -7,6 +7,17 @@ import (
 	"rff/internal/exec"
 )
 
+// env bundles the shared objects a generated program's workers operate
+// on.
+type env struct {
+	vars  []*exec.Var
+	mus   []*exec.Mutex
+	chans []*exec.Chan
+	rws   []*exec.RWMutex
+	conds []*exec.Cond
+	wg    *exec.WaitGroup
+}
+
 // Body builds the exec.Program interpreting the AST. Every statement
 // executes through the explicit-location thread API (ReadAt, WriteAt,
 // LockAt, ...) with its own synthetic location, so each statement is a
@@ -14,26 +25,47 @@ import (
 // machinery keys on.
 func (p *Program) Body() exec.Program {
 	return func(t *exec.Thread) {
-		vars := make([]*exec.Var, p.NVars)
-		for i := range vars {
-			vars[i] = t.NewVar(fmt.Sprintf("x%d", i), p.Inits[i])
+		e := &env{
+			vars:  make([]*exec.Var, p.NVars),
+			mus:   make([]*exec.Mutex, p.NMutexes),
+			chans: make([]*exec.Chan, p.NChans),
+			rws:   make([]*exec.RWMutex, p.NRWs),
+			conds: make([]*exec.Cond, p.NConds),
 		}
-		mus := make([]*exec.Mutex, p.NMutexes)
-		for i := range mus {
-			mus[i] = t.NewMutex(fmt.Sprintf("m%d", i))
+		for i := range e.vars {
+			e.vars[i] = t.NewVar(fmt.Sprintf("x%d", i), p.Inits[i])
+		}
+		for i := range e.mus {
+			e.mus[i] = t.NewMutex(fmt.Sprintf("m%d", i))
+		}
+		for i := range e.chans {
+			e.chans[i] = t.NewChan(fmt.Sprintf("ch%d", i), p.ChanCaps[i])
+		}
+		for i := range e.rws {
+			e.rws[i] = t.NewRWMutex(fmt.Sprintf("rw%d", i))
+		}
+		for i := range e.conds {
+			e.conds[i] = t.NewCond(fmt.Sprintf("c%d", i), e.mus[p.CondMutex[i]])
+		}
+		if p.UseWg {
+			e.wg = t.NewWaitGroup("wg")
+			t.WgAddAt(e.wg, int64(p.WgAdds), "main.wgadd")
 		}
 		children := make([]*exec.Thread, len(p.Threads))
 		for i, body := range p.Threads {
 			body := body
 			children[i] = t.Go(fmt.Sprintf("w%d", i+1), func(w *exec.Thread) {
 				var regs [2]int64
-				runStmts(w, body, vars, mus, &regs)
+				runStmts(w, body, e, &regs)
 			})
+		}
+		if p.UseWg {
+			t.WgWaitAt(e.wg, "main.wgwait")
 		}
 		t.JoinAll(children...)
 		// Sequential epilogue: read every final value, then assert.
 		finals := make([]int64, p.NVars)
-		for i, v := range vars {
+		for i, v := range e.vars {
 			finals[i] = t.ReadAt(v, fmt.Sprintf("main.final.%d", i))
 		}
 		for i, a := range p.Finals {
@@ -45,30 +77,71 @@ func (p *Program) Body() exec.Program {
 }
 
 // runStmts interprets one statement list on thread w.
-func runStmts(w *exec.Thread, stmts []Stmt, vars []*exec.Var, mus []*exec.Mutex, regs *[2]int64) {
+func runStmts(w *exec.Thread, stmts []Stmt, e *env, regs *[2]int64) {
 	for _, s := range stmts {
 		switch s.Kind {
 		case StLoad:
-			regs[s.Reg] = w.ReadAt(vars[s.Var], s.Loc)
+			regs[s.Reg] = w.ReadAt(e.vars[s.Var], s.Loc)
 		case StStore:
-			w.WriteAt(vars[s.Var], s.Const, s.Loc)
+			w.WriteAt(e.vars[s.Var], s.Const, s.Loc)
 		case StStoreReg:
-			w.WriteAt(vars[s.Var], regs[s.Reg]+s.Delta, s.Loc)
+			w.WriteAt(e.vars[s.Var], regs[s.Reg]+s.Delta, s.Loc)
 		case StAddNA:
-			w.AddAt(vars[s.Var], s.Delta, s.Loc)
+			w.AddAt(e.vars[s.Var], s.Delta, s.Loc)
 		case StAtomicAdd:
-			w.AtomicAddAt(vars[s.Var], s.Delta, s.Loc)
+			w.AtomicAddAt(e.vars[s.Var], s.Delta, s.Loc)
 		case StCAS:
-			w.CASAt(vars[s.Var], s.Old, s.New, s.Loc)
+			w.CASAt(e.vars[s.Var], s.Old, s.New, s.Loc)
 		case StYield:
 			w.YieldAt(s.Loc)
 		case StAssert:
 			w.AssertAt(s.Cmp.eval(regs[s.Reg], s.Const),
 				fmt.Sprintf("r%d %s %d", s.Reg, s.Cmp, s.Const), s.Loc)
 		case StLocked:
-			w.LockAt(mus[s.Mutex], s.Loc)
-			runStmts(w, s.Body, vars, mus, regs)
-			w.UnlockAt(mus[s.Mutex], s.Loc)
+			w.LockAt(e.mus[s.Mutex], s.Loc)
+			runStmts(w, s.Body, e, regs)
+			w.UnlockAt(e.mus[s.Mutex], s.Loc)
+		case StSend:
+			w.SendAt(e.chans[s.Chan], s.Const, s.Loc)
+		case StRecv:
+			v, _ := w.RecvAt(e.chans[s.Chan], s.Loc)
+			regs[s.Reg] = v
+		case StClose:
+			w.CloseAt(e.chans[s.Chan], s.Loc)
+		case StTrySend:
+			w.TrySendAt(e.chans[s.Chan], s.Const, s.Loc)
+		case StTryRecv:
+			v, _, recvd := w.TryRecvAt(e.chans[s.Chan], s.Loc)
+			if recvd {
+				regs[s.Reg] = v
+			}
+		case StSelect:
+			cases := []exec.SelectCase{exec.RecvCase(e.chans[s.Chan])}
+			if s.SelSend {
+				cases = append(cases, exec.SendCase(e.chans[s.Chan2], s.Const))
+			} else {
+				cases = append(cases, exec.RecvCase(e.chans[s.Chan2]))
+			}
+			_, v, ok := w.SelectAt(s.Loc, cases...)
+			if ok {
+				regs[s.Reg] = v
+			}
+		case StWgDone:
+			w.WgDoneAt(e.wg, s.Loc)
+		case StCondWait:
+			w.WaitAt(e.conds[s.Cond], s.Loc)
+		case StSignal:
+			w.SignalAt(e.conds[s.Cond], s.Loc)
+		case StBroadcast:
+			w.BroadcastAt(e.conds[s.Cond], s.Loc)
+		case StRLocked:
+			w.RLockAt(e.rws[s.RW], s.Loc)
+			runStmts(w, s.Body, e, regs)
+			w.RUnlockAt(e.rws[s.RW], s.Loc)
+		case StWLocked:
+			w.WLockAt(e.rws[s.RW], s.Loc)
+			runStmts(w, s.Body, e, regs)
+			w.WUnlockAt(e.rws[s.RW], s.Loc)
 		default:
 			panic(fmt.Sprintf("progen: unknown statement kind %d", s.Kind))
 		}
@@ -85,6 +158,18 @@ func (p *Program) Source() string {
 	}
 	for i := 0; i < p.NMutexes; i++ {
 		fmt.Fprintf(&b, "mutex m%d\n", i)
+	}
+	for i := 0; i < p.NChans; i++ {
+		fmt.Fprintf(&b, "chan ch%d cap %d\n", i, p.ChanCaps[i])
+	}
+	for i := 0; i < p.NRWs; i++ {
+		fmt.Fprintf(&b, "rwmutex rw%d\n", i)
+	}
+	for i := 0; i < p.NConds; i++ {
+		fmt.Fprintf(&b, "cond c%d on m%d\n", i, p.CondMutex[i])
+	}
+	if p.UseWg {
+		fmt.Fprintf(&b, "waitgroup wg add %d\n", p.WgAdds)
 	}
 	for i, body := range p.Threads {
 		fmt.Fprintf(&b, "thread w%d {\n", i+1)
@@ -120,6 +205,38 @@ func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
 			fmt.Fprintf(b, "%sassert r%d %s %d", ind, s.Reg, s.Cmp, s.Const)
 		case StLocked:
 			fmt.Fprintf(b, "%slock m%d {\t// %s\n", ind, s.Mutex, s.Loc)
+			writeStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}", ind)
+		case StSend:
+			fmt.Fprintf(b, "%sch%d <- %d", ind, s.Chan, s.Const)
+		case StRecv:
+			fmt.Fprintf(b, "%sr%d = <-ch%d", ind, s.Reg, s.Chan)
+		case StClose:
+			fmt.Fprintf(b, "%sclose(ch%d)", ind, s.Chan)
+		case StTrySend:
+			fmt.Fprintf(b, "%strysend(ch%d, %d)", ind, s.Chan, s.Const)
+		case StTryRecv:
+			fmt.Fprintf(b, "%sr%d = tryrecv(ch%d)", ind, s.Reg, s.Chan)
+		case StSelect:
+			arm := fmt.Sprintf("recv ch%d", s.Chan2)
+			if s.SelSend {
+				arm = fmt.Sprintf("send ch%d %d", s.Chan2, s.Const)
+			}
+			fmt.Fprintf(b, "%sselect { recv ch%d -> r%d | %s }", ind, s.Chan, s.Reg, arm)
+		case StWgDone:
+			fmt.Fprintf(b, "%swg.done()", ind)
+		case StCondWait:
+			fmt.Fprintf(b, "%swait(c%d)", ind, s.Cond)
+		case StSignal:
+			fmt.Fprintf(b, "%ssignal(c%d)", ind, s.Cond)
+		case StBroadcast:
+			fmt.Fprintf(b, "%sbroadcast(c%d)", ind, s.Cond)
+		case StRLocked:
+			fmt.Fprintf(b, "%srlock rw%d {\t// %s\n", ind, s.RW, s.Loc)
+			writeStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}", ind)
+		case StWLocked:
+			fmt.Fprintf(b, "%swlock rw%d {\t// %s\n", ind, s.RW, s.Loc)
 			writeStmts(b, s.Body, depth+1)
 			fmt.Fprintf(b, "%s}", ind)
 		}

@@ -46,6 +46,11 @@ type Options struct {
 	// MaxSteps bounds the validation execution (0 = 4096); generated
 	// programs are two orders of magnitude shorter.
 	MaxSteps int
+	// Features enables optional grammar productions (channels,
+	// WaitGroups, condition variables, reader/writer locks). The zero
+	// value keeps the historical core grammar, whose draw stream — and
+	// therefore every "gen/s<seed>/<idx>" program — is unchanged.
+	Features Features
 }
 
 func (o *Options) fill() {
@@ -111,6 +116,38 @@ const (
 	// StLocked is lock(m); Body; unlock(m). Nested regions over
 	// distinct mutexes are the grammar's deadlock source.
 	StLocked
+
+	// The remaining kinds are feature-gated (Options.Features); the core
+	// grammar never draws them.
+
+	// StSend is a blocking channel send of Const on channel Chan.
+	StSend
+	// StRecv is a blocking channel receive from Chan into register Reg.
+	StRecv
+	// StClose closes channel Chan (a second close crashes).
+	StClose
+	// StTrySend is a non-blocking send attempt of Const on Chan.
+	StTrySend
+	// StTryRecv is a non-blocking receive attempt from Chan into Reg.
+	StTryRecv
+	// StSelect is a two-case select: case 0 receives from Chan; case 1
+	// sends Const on Chan2 when SelSend, else receives from Chan2. The
+	// received value (if any) lands in Reg.
+	StSelect
+	// StWgDone decrements the program's WaitGroup; appended to the
+	// designated doner workers' bodies, never drawn inside stmts.
+	StWgDone
+	// StCondWait waits on condition Cond; generated only inside a locked
+	// region of the condition's bound mutex.
+	StCondWait
+	// StSignal signals condition Cond.
+	StSignal
+	// StBroadcast broadcasts condition Cond.
+	StBroadcast
+	// StRLocked is rlock(rw); Body; runlock(rw).
+	StRLocked
+	// StWLocked is wlock(rw); Body; wunlock(rw).
+	StWLocked
 )
 
 // Cmp is an assertion comparison operator.
@@ -160,13 +197,20 @@ type Stmt struct {
 	Kind  StmtKind
 	Var   int   // shared variable index (loads/stores/RMWs)
 	Mutex int   // mutex index (StLocked)
-	Reg   int   // register index (StLoad, StStoreReg, StAssert)
+	Reg   int   // register index (StLoad, StStoreReg, StAssert, receives)
 	Delta int64 // StStoreReg, StAddNA, StAtomicAdd
 	Old   int64 // StCAS expected value
 	New   int64 // StCAS replacement value
-	Const int64 // StStore value, StAssert comparand
+	Const int64 // StStore value, StAssert comparand, sent value
 	Cmp   Cmp   // StAssert operator
 	Body  []Stmt
+
+	// Feature-grammar operands.
+	Chan    int  // channel index (sends/receives/close; select case 0)
+	Chan2   int  // select case 1's channel
+	SelSend bool // select case 1 is a send
+	Cond    int  // condition index (StCondWait/StSignal/StBroadcast)
+	RW      int  // reader/writer lock index (StRLocked/StWLocked)
 	// Loc is the statement's synthetic source location ("w2.3"):
 	// distinct per statement, so each one is its own abstract event.
 	Loc string
@@ -191,6 +235,10 @@ type Program struct {
 	Seed  int64
 	Index int
 
+	// Features records the grammar the program was drawn from (encoded
+	// in Name for non-core grammars).
+	Features Features
+
 	NVars    int
 	NMutexes int
 	// Inits holds each variable's initial value.
@@ -199,6 +247,20 @@ type Program struct {
 	Threads [][]Stmt
 	// Finals are main's post-join assertions.
 	Finals []FinalAssert
+
+	// Feature-grammar structure (all zero for the core grammar).
+	NChans    int
+	ChanCaps  []int // per-channel buffer capacity (0 = rendezvous)
+	NRWs      int
+	NConds    int
+	CondMutex []int // per-condition bound mutex index
+	// UseWg wires a WaitGroup through the program: main adds WgAdds
+	// before spawning, the WgDoners workers each append a Done, and main
+	// waits before joining. A deliberate add/done mismatch makes the
+	// wait deadlock (adds too high) or the last Done panic (too low).
+	UseWg    bool
+	WgAdds   int
+	WgDoners []bool
 }
 
 // Bench wraps the program for the campaign.Tool interface.
@@ -257,13 +319,20 @@ func (firstEnabled) Pick(*exec.View) int { return 0 }
 func (firstEnabled) Executed(exec.Event) {}
 func (firstEnabled) End(*exec.Trace)     {}
 
-// gen draws one candidate program from the grammar.
+// gen draws one candidate program from the grammar. Every feature draw
+// is gated behind Options.Features != 0, keeping the core grammar's rng
+// stream — and therefore its emitted programs — byte-identical to the
+// pre-feature generator.
 func (g *Generator) gen() *Program {
 	r := g.rng
 	p := &Program{
-		Seed:  g.seed,
-		Index: g.idx,
-		Name:  fmt.Sprintf("gen/s%d/%04d", g.seed, g.idx),
+		Seed:     g.seed,
+		Index:    g.idx,
+		Features: g.opts.Features,
+		Name:     fmt.Sprintf("gen/s%d/%04d", g.seed, g.idx),
+	}
+	if g.opts.Features != 0 {
+		p.Name = fmt.Sprintf("gen/%s/s%d/%04d", GrammarName(g.opts.Features), g.seed, g.idx)
 	}
 	g.idx++
 
@@ -275,6 +344,44 @@ func (g *Generator) gen() *Program {
 		p.Inits[i] = int64(r.Intn(3))
 	}
 
+	if f := g.opts.Features; f != 0 {
+		if f&FeatChan != 0 {
+			p.NChans = 1 + r.Intn(2)
+			p.ChanCaps = make([]int, p.NChans)
+			for i := range p.ChanCaps {
+				p.ChanCaps[i] = r.Intn(3)
+			}
+		}
+		if f&FeatCond != 0 {
+			if p.NMutexes == 0 {
+				p.NMutexes = 1 // conditions need a mutex to bind to
+			}
+			p.NConds = r.Intn(2)
+			p.CondMutex = make([]int, p.NConds)
+			for i := range p.CondMutex {
+				p.CondMutex[i] = r.Intn(p.NMutexes)
+			}
+		}
+		if f&FeatRWMutex != 0 {
+			p.NRWs = r.Intn(2)
+		}
+		if f&FeatWaitGroup != 0 && r.Intn(3) > 0 {
+			p.UseWg = true
+			doners := 1 + r.Intn(threads)
+			p.WgDoners = make([]bool, threads)
+			for i := 0; i < doners; i++ {
+				p.WgDoners[i] = true
+			}
+			p.WgAdds = doners
+			switch r.Intn(8) {
+			case 0:
+				p.WgAdds++ // one Done short: main's wait deadlocks
+			case 1:
+				p.WgAdds-- // one Done extra: the last Done panics
+			}
+		}
+	}
+
 	budget := g.opts.OpBudget
 	if budget <= 0 {
 		budget = opBudget(threads)
@@ -282,7 +389,14 @@ func (g *Generator) gen() *Program {
 	p.Threads = make([][]Stmt, threads)
 	for t := 0; t < threads; t++ {
 		counter := 0
-		p.Threads[t] = g.stmts(p, budget, 0, -1, t+1, &counter)
+		b := budget
+		if p.UseWg && p.WgDoners[t] {
+			b-- // the appended Done costs one scheduling point
+		}
+		p.Threads[t] = g.stmts(p, b, 0, -1, -1, t+1, &counter)
+		if p.UseWg && p.WgDoners[t] {
+			p.Threads[t] = append(p.Threads[t], Stmt{Kind: StWgDone, Loc: fmt.Sprintf("w%d.done", t+1)})
+		}
 	}
 
 	// Post-join assertions on final variable values, most of the time.
@@ -303,10 +417,10 @@ func (g *Generator) gen() *Program {
 func (g *Generator) cmp() Cmp { return Cmp(1 + g.rng.Intn(4)) }
 
 // stmts draws a statement list costing at most budget scheduling points.
-// depth is the lock-nesting depth and held the mutex index held by the
-// enclosing region (-1 = none); tid and counter feed the synthetic
-// source locations.
-func (g *Generator) stmts(p *Program, budget, depth, held, tid int, counter *int) []Stmt {
+// depth is the lock-nesting depth, held the mutex index held by the
+// enclosing region and heldRW the rwlock index held (-1 = none); tid and
+// counter feed the synthetic source locations.
+func (g *Generator) stmts(p *Program, budget, depth, held, heldRW, tid int, counter *int) []Stmt {
 	r := g.rng
 	var out []Stmt
 	asserts := 0
@@ -314,8 +428,13 @@ func (g *Generator) stmts(p *Program, budget, depth, held, tid int, counter *int
 		s := Stmt{Loc: fmt.Sprintf("w%d.%d", tid, *counter)}
 		*counter++
 		// Weighted kind choice; zero-cost asserts are capped so the
-		// loop always terminates.
-		k := r.Intn(20)
+		// loop always terminates. Core draws from [0,20); feature
+		// grammars widen the range, with the added kinds in [20,30).
+		kmax := 20
+		if g.opts.Features != 0 {
+			kmax = 30
+		}
+		k := r.Intn(kmax)
 		switch {
 		case k < 4: // load
 			s.Kind, s.Var, s.Reg = StLoad, r.Intn(p.NVars), r.Intn(2)
@@ -343,7 +462,7 @@ func (g *Generator) stmts(p *Program, budget, depth, held, tid int, counter *int
 			s.Kind, s.Reg = StAssert, r.Intn(2)
 			s.Cmp, s.Const = g.cmp(), int64(r.Intn(6)-1)
 			asserts++
-		case p.NMutexes > 0 && depth < 2 && budget >= 3: // lock region
+		case k < 20 && p.NMutexes > 0 && depth < 2 && budget >= 3: // lock region
 			m := r.Intn(p.NMutexes)
 			if m == held { // never re-acquire the held mutex
 				m = (m + 1) % p.NMutexes
@@ -353,7 +472,54 @@ func (g *Generator) stmts(p *Program, budget, depth, held, tid int, counter *int
 			}
 			s.Kind, s.Mutex = StLocked, m
 			inner := 1 + r.Intn(budget-2)
-			s.Body = g.stmts(p, inner, depth+1, m, tid, counter)
+			s.Body = g.stmts(p, inner, depth+1, m, heldRW, tid, counter)
+			budget -= 2 + inner
+		case k < 22 && p.NChans > 0: // non-blocking send attempt
+			s.Kind, s.Chan, s.Const = StTrySend, r.Intn(p.NChans), int64(1+r.Intn(4))
+			budget--
+		case k < 24 && p.NChans > 0: // non-blocking receive attempt
+			s.Kind, s.Chan, s.Reg = StTryRecv, r.Intn(p.NChans), r.Intn(2)
+			budget--
+		case k < 25 && p.NChans > 0: // blocking send (may deadlock)
+			s.Kind, s.Chan, s.Const = StSend, r.Intn(p.NChans), int64(1+r.Intn(4))
+			budget--
+		case k < 26 && p.NChans > 0: // blocking receive (may deadlock)
+			s.Kind, s.Chan, s.Reg = StRecv, r.Intn(p.NChans), r.Intn(2)
+			budget--
+		case k < 27 && p.NChans > 0: // close (a racing second close crashes)
+			s.Kind, s.Chan = StClose, r.Intn(p.NChans)
+			budget--
+		case k < 28 && p.NChans > 0: // two-case select
+			s.Kind, s.Chan, s.Reg = StSelect, r.Intn(p.NChans), r.Intn(2)
+			s.Chan2 = r.Intn(p.NChans)
+			s.SelSend = r.Intn(2) == 0
+			s.Const = int64(1 + r.Intn(4))
+			budget--
+		case k < 29 && p.NConds > 0: // condition ops
+			s.Cond = r.Intn(p.NConds)
+			if held >= 0 && held == p.CondMutex[s.Cond] && budget >= 2 {
+				s.Kind = StCondWait // only while holding the bound mutex
+				budget -= 2         // OpWait + the relock
+			} else if r.Intn(2) == 0 {
+				s.Kind = StSignal
+				budget--
+			} else {
+				s.Kind = StBroadcast
+				budget--
+			}
+		case p.NRWs > 0 && depth < 2 && budget >= 3: // rw region (k in [29,30))
+			rw := r.Intn(p.NRWs)
+			if rw == heldRW {
+				continue // never nest on the held rwlock
+			}
+			if r.Intn(2) == 0 {
+				s.Kind = StWLocked
+			} else {
+				s.Kind = StRLocked
+			}
+			s.RW = rw
+			inner := 1 + r.Intn(budget-2)
+			s.Body = g.stmts(p, inner, depth+1, held, rw, tid, counter)
 			budget -= 2 + inner
 		default:
 			continue

@@ -9,7 +9,8 @@
 // Happens-before is computed with vector clocks over the engine's full
 // synchronization vocabulary: program order, spawn/join, mutex and rwlock
 // release→acquire, condition signal→wakeup, semaphore post→wait, barrier
-// generations, and atomic RMWs (which synchronize like C11 seq_cst
+// generations, channel send→receive and close→receive, WaitGroup
+// Done→Wait, and atomic RMWs (which synchronize like C11 seq_cst
 // operations and never race with each other).
 package race
 
@@ -304,6 +305,29 @@ func Detect(t *exec.Trace) []Race {
 				}
 				d.clock(th).join(gen.clock)
 			}
+			d.tick(th)
+		case exec.OpSend, exec.OpClose, exec.OpWgAdd:
+			// Release side of the channel/WaitGroup edges: the matching
+			// receive (or WaitGroup wait) reads-from this event.
+			d.tick(th)
+			d.releaseObj(th, e.Var, e.ID)
+		case exec.OpTrySend:
+			d.tick(th)
+			if e.Ok {
+				d.releaseObj(th, e.Var, e.ID)
+			}
+		case exec.OpRecv, exec.OpTryRecv:
+			// Acquire side: join the clock of the send (or close) this
+			// receive reads-from. A would-block TryRecv has no edge.
+			if e.RF != 0 {
+				d.acquireFrom(th, e.RF)
+			}
+			d.tick(th)
+		case exec.OpWgWait:
+			// objAccum accumulation means the final Done's release clock
+			// carries every earlier Done's clock, so one join orders the
+			// waiter after all workers.
+			d.acquireFrom(th, e.RF)
 			d.tick(th)
 		case exec.OpRead, exec.OpWrite:
 			if e.Atomic {

@@ -272,3 +272,96 @@ func TestDistinctKeysDeduplicates(t *testing.T) {
 		t.Fatal("dedup grew the set")
 	}
 }
+
+func TestChanSendRecvCreatesEdge(t *testing.T) {
+	// Writer publishes x, sends; reader receives, reads x. The
+	// send->recv edge orders the accesses under every schedule.
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		ch := t.NewChan("ch", 0)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Write(x, 1)
+			w.Send(ch, 0)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.Recv(ch)
+			w.Read(x)
+		})
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("send->recv handoff must order the accesses")
+	}
+}
+
+func TestChanCloseRecvCreatesEdge(t *testing.T) {
+	// Publication via close: the drained receive reads-from the close,
+	// so the pre-close write is ordered before the post-receive read.
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		ch := t.NewChan("ch", 0)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Write(x, 1)
+			w.Close(ch)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.Recv(ch)
+			w.Read(x)
+		})
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("close->recv must order the accesses")
+	}
+}
+
+func TestChanUnrelatedAccessesStillRace(t *testing.T) {
+	// The channel handoff must not over-synchronize: accesses on a
+	// variable unrelated to the handoff still race.
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		ch := t.NewChan("ch", 1)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Send(ch, 0)
+			w.Write(x, 1)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.Write(x, 2)
+			w.Recv(ch)
+		})
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if !any {
+		t.Fatal("writes not ordered by the handoff must still race on some schedule")
+	}
+}
+
+func TestWaitGroupCreatesEdge(t *testing.T) {
+	// Worker writes then Done; waiter Waits then reads. Done->Wait is a
+	// release->acquire pair, and accumulation covers multiple workers.
+	prog := func(t *exec.Thread) {
+		x := t.NewVar("x", 0)
+		y := t.NewVar("y", 0)
+		wg := t.NewWaitGroup("wg")
+		t.WgAdd(wg, 2)
+		a := t.Go("a", func(w *exec.Thread) {
+			w.Write(x, 1)
+			w.WgDone(wg)
+		})
+		b := t.Go("b", func(w *exec.Thread) {
+			w.Write(y, 1)
+			w.WgDone(wg)
+		})
+		t.WgWait(wg)
+		t.Read(x)
+		t.Read(y)
+		t.JoinAll(a, b)
+	}
+	any, _ := sweep(t, prog, 100)
+	if any {
+		t.Fatal("WaitGroup Done->Wait must order every worker's writes before the waiter's reads")
+	}
+}

@@ -3,10 +3,13 @@ package shard_test
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rff/internal/core"
 	"rff/internal/exec"
+	"rff/internal/progen"
+	"rff/internal/sched"
 	"rff/internal/shard"
 	"rff/internal/telemetry"
 )
@@ -240,5 +243,51 @@ func TestContextCancelPrefix(t *testing.T) {
 	}
 	if rep.CorpusSize == 0 || len(rep.SigFrequencies) != rep.UniqueSigs {
 		t.Fatalf("cancelled report inconsistent: %+v", rep)
+	}
+}
+
+// TestDeterministicWithChannelOps extends the shard-count contract to
+// the channel vocabulary: a chan-grammar progen program (channels,
+// selects, WaitGroup) merges to a bit-identical report at every shard
+// count. Channel rendezvous matching and transfer-slot state must not
+// leak any execution-order dependence into the epoch merge.
+func TestDeterministicWithChannelOps(t *testing.T) {
+	feats, err := progen.ParseGrammar("chan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan the stream for a channel-heavy program that neither crashes
+	// nor deadlocks on every schedule, so the campaign runs its budget.
+	gen := progen.NewGenerator(11, progen.Options{Features: feats})
+	var prog exec.Program
+	var name string
+	for i := 0; i < 40; i++ {
+		p := gen.Next()
+		chanOps := strings.Count(p.Source(), "ch0") + strings.Count(p.Source(), "ch1")
+		if chanOps < 2 {
+			continue
+		}
+		res := exec.Run(p.Name, p.Body(), exec.Config{Scheduler: sched.NewRandom(), Seed: 1})
+		if res.Buggy() {
+			continue
+		}
+		prog, name = p.Body(), p.Name
+		break
+	}
+	if prog == nil {
+		t.Fatal("no suitable channel-heavy program in the first 40 candidates")
+	}
+	base := shard.Options{Budget: 300, Seed: 42, Epoch: 32}
+	want := shard.Fuzz(name, prog, base)
+	if want.Executions == 0 {
+		t.Fatal("baseline ran nothing")
+	}
+	for _, w := range []int{1, 2, 4} {
+		opts := base
+		opts.Shards = w
+		got := shard.Fuzz(name, prog, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: channel-program report diverged\n got: %+v\nwant: %+v", w, got, want)
+		}
 	}
 }

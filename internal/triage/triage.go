@@ -412,7 +412,7 @@ func insertID(ids []store.ID, id store.ID) []store.ID {
 
 // failureKindOf inverts exec.FailureKind.String.
 func failureKindOf(s string) exec.FailureKind {
-	for k := exec.FailAssert; k <= exec.FailPanic; k++ {
+	for k := exec.FailAssert; int(k) < exec.NumFailureKinds; k++ {
 		if k.String() == s {
 			return k
 		}
