@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"rff/internal/bench"
+	budgetpkg "rff/internal/budget"
 	"rff/internal/campaign"
 	"rff/internal/core"
 	"rff/internal/exec"
@@ -245,6 +246,9 @@ func cmdRun(args []string) {
 	workers := fs.Int("workers", 0, "run trials concurrently on this many fleet workers; per-trial results are identical at any count (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "shard each rff trial's fuzz loop across this many work-stealing workers; deterministic — results are identical at any shard count, though not to the unsharded loop (0 = unsharded)")
 	shardFast := fs.Bool("shard-fast", false, "drop the sharded runner's deterministic epoch barrier: fastest throughput, nondeterministic results (requires -shards)")
+	budgetPolicy := fs.String("budget-policy", "",
+		fmt.Sprintf("adaptive budget policy reallocating the campaign's execution pool across (tool, trial) cells at epoch barriers (%s; empty = fixed per-trial budgets)", strings.Join(budgetpkg.Policies(), "|")))
+	budgetEpochs := fs.Int("budget-epochs", budgetpkg.DefaultEpochs, "allocation epochs under -budget-policy")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock deadline; a timed-out trial stops within one scheduling step and records an error (0 = none)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot to this file at campaign end")
 	eventsPath := fs.String("events", "", "stream campaign events to this file as JSON Lines")
@@ -322,6 +326,17 @@ func cmdRun(args []string) {
 	// deferred telemetry flush with whatever completed so far.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *budgetPolicy != "" {
+		runBudgeted(ctx, p, specs, ts, budgetedRunFlags{
+			policy: *budgetPolicy, epochs: *budgetEpochs,
+			trials: *trials, budget: *budget, maxSteps: *maxSteps,
+			seed: *seed, workers: *workers, trialTimeout: *trialTimeout,
+			shards:       *shards,
+			wantsVerbose: *verbose || *doMin || *outDir != "" || *races,
+		})
+		return
+	}
 
 	canon, _ := strategy.Canonical(specs[0])
 	if (*verbose || *doMin || *outDir != "" || *races) && len(tools) == 1 && canon == "rff" {
@@ -496,6 +511,82 @@ func cmdRun(args []string) {
 		}
 	}
 	summary()
+}
+
+// budgetedRunFlags carries the `rff run` flags the adaptive-budget
+// path consumes.
+type budgetedRunFlags struct {
+	policy       string
+	epochs       int
+	trials       int
+	budget       int
+	maxSteps     int
+	seed         int64
+	workers      int
+	trialTimeout time.Duration
+	shards       int
+	wantsVerbose bool
+}
+
+// runBudgeted executes `rff run -budget-policy`: the program's (tool,
+// trial) cells share one execution pool of budget x trials per tool,
+// reallocated every epoch by the policy. Prints per-trial outcomes in
+// deterministic (tool, trial) order plus the allocation accounting.
+func runBudgeted(ctx context.Context, p bench.Program, specs []string, ts *telemetrySession, f budgetedRunFlags) {
+	bcfg := &budgetpkg.Config{Policy: f.policy, Epochs: f.epochs}
+	if err := bcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	if f.shards >= 1 {
+		fmt.Fprintln(os.Stderr, "rff: -budget-policy is incompatible with -shards (the shard runner's observer sees only failures)")
+		os.Exit(1)
+	}
+	if f.wantsVerbose {
+		fmt.Fprintln(os.Stderr, "rff: -budget-policy is incompatible with -v/-minimize/-out/-races")
+		os.Exit(1)
+	}
+	m, err := strategy.RunMatrix(ctx, specs, []bench.Program{p}, strategy.Config{
+		Telemetry:    ts.sink(),
+		Trials:       f.trials,
+		Budget:       f.budget,
+		MaxSteps:     f.maxSteps,
+		BaseSeed:     f.seed,
+		Workers:      f.workers,
+		TrialTimeout: f.trialTimeout,
+		Budgeter:     bcfg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rff: %v\n", err)
+		os.Exit(1)
+	}
+	for _, toolName := range m.Tools {
+		outs := m.Outcomes[toolName][p.Name]
+		found := 0
+		for tr, o := range outs {
+			switch {
+			case o.Errored():
+				fmt.Printf("trial %d: %s aborted: %s\n", tr+1, toolName, o.Err)
+			case o.Found():
+				found++
+				fmt.Printf("trial %d: %s found the bug after %d schedules\n", tr+1, toolName, o.FirstBug)
+			default:
+				fmt.Printf("trial %d: %s found no bug in %d schedules\n", tr+1, toolName, o.Executions)
+			}
+		}
+		fmt.Printf("%s on %s: %d/%d trials found the bug\n", toolName, p.Name, found, len(outs))
+	}
+	br := m.BudgetReport
+	fmt.Printf("budget policy %s: %d epochs, %d/%d executions spent, %d reallocations\n",
+		br.Policy, br.Epochs, br.Spent, br.Pool, br.Reallocations)
+	for _, c := range br.Cells {
+		status := ""
+		if c.Bug {
+			status = fmt.Sprintf(", first bug at global execution %d", c.FirstBug)
+		}
+		fmt.Printf("  %s: spent %d of %d allocated (%.1f%% share, %d new rf-pairs%s)\n",
+			c.Tool, c.Spent, c.Allocated, c.SharePct, c.NewPairs, status)
+	}
 }
 
 func cmdReplay(args []string) {

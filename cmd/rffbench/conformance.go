@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	budgetpkg "rff/internal/budget"
 	"rff/internal/conformance"
 	"rff/internal/progen"
 	"rff/internal/strategy"
@@ -35,6 +36,9 @@ func cmdConformance(args []string) {
 		"progen grammar to draw programs from ("+strings.Join(progen.Grammars(), ", ")+")")
 	maxSteps := fs.Int("maxsteps", 4096, "per-execution step budget")
 	workers := fs.Int("workers", 1, "fleet workers per program; results identical at any count")
+	budgetPolicy := fs.String("budget-policy", "",
+		fmt.Sprintf("adaptive budget policy: each program's (spec, trial) cells share a reallocated pool (%s; empty = fixed per-cell budgets)", strings.Join(budgetpkg.Policies(), "|")))
+	budgetEpochs := fs.Int("budget-epochs", budgetpkg.DefaultEpochs, "allocation epochs under -budget-policy")
 	out := fs.String("out", "", "directory for summary.txt, coverage.txt, and report.json (e.g. results/conformance)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	quiet := fs.Bool("q", false, "suppress progress output")
@@ -49,6 +53,13 @@ func cmdConformance(args []string) {
 	if _, err := progen.ParseGrammar(*grammar); err != nil {
 		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
 		os.Exit(2)
+	}
+	if *budgetPolicy != "" {
+		bc := budgetpkg.Config{Policy: *budgetPolicy, Epochs: *budgetEpochs}
+		if err := bc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var hub *telemetry.Hub
@@ -69,17 +80,19 @@ func cmdConformance(args []string) {
 	stopProf := pf.start()
 	start := time.Now()
 	rep := conformance.RunContext(context.Background(), conformance.Options{
-		Programs:  *programs,
-		Seed:      *seed,
-		Specs:     specs,
-		Trials:    *trials,
-		Budget:    *budget,
-		GTBudget:  *gtBudget,
-		MaxSteps:  *maxSteps,
-		Workers:   *workers,
-		Grammar:   *grammar,
-		Telemetry: sink,
-		Progress:  progress,
+		Programs:     *programs,
+		Seed:         *seed,
+		Specs:        specs,
+		Trials:       *trials,
+		Budget:       *budget,
+		GTBudget:     *gtBudget,
+		MaxSteps:     *maxSteps,
+		Workers:      *workers,
+		Grammar:      *grammar,
+		BudgetPolicy: *budgetPolicy,
+		BudgetEpochs: *budgetEpochs,
+		Telemetry:    sink,
+		Progress:     progress,
 	})
 	stopProf()
 	if !*quiet {

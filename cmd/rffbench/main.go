@@ -8,6 +8,7 @@
 //	rffbench rq4      [-trials 5] [-budget 2000]      # Q-Learning-RF comparison
 //	rffbench classes  -prog CS/reorder_3 [-budget N]  # E8 rf-class reduction
 //	rffbench conformance [-programs 50] [-seed 1] [-tools ...]  # differential conformance
+//	rffbench sched-eval  [-programs 12] [-seeds 1,2,3] [-policies uniform,ucb,...]  # adaptive budget policy evaluation
 //	rffbench perf     [-budget 2000] [-out BENCH_perf.json]  # hot-path throughput
 //	rffbench triage   -in DIR | -store DIR | -progen-seed S  # cluster crashes into a regression corpus
 //
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"rff/internal/bench"
+	"rff/internal/budget"
 	"rff/internal/campaign"
 	"rff/internal/fleet"
 	"rff/internal/perf"
@@ -77,6 +79,8 @@ func main() {
 		cmdFig5(args)
 	case "conformance":
 		cmdConformance(args)
+	case "sched-eval":
+		cmdSchedEval(args)
 	case "classes":
 		cmdClasses(args)
 	case "perf":
@@ -90,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|conformance|perf|triage> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rffbench <table-b|fig4|fig5|rq1|rq2|rq4|classes|conformance|sched-eval|perf|triage> [flags]")
 }
 
 // profileFlags holds the pprof flags every subcommand accepts.
@@ -125,17 +129,19 @@ func (pf *profileFlags) start() (stop func()) {
 
 // matrixFlags holds the common evaluation-matrix flags.
 type matrixFlags struct {
-	trials      int
-	budget      int
-	maxSteps    int
-	seed        int64
-	workers     int
-	suite       string
-	progs       string
-	quiet       bool
-	jsonPath    string
-	metricsPath string
-	prof        *profileFlags
+	trials       int
+	budget       int
+	maxSteps     int
+	seed         int64
+	workers      int
+	suite        string
+	progs        string
+	quiet        bool
+	jsonPath     string
+	metricsPath  string
+	budgetPolicy string
+	budgetEpochs int
+	prof         *profileFlags
 }
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
@@ -150,7 +156,24 @@ func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 	fs.BoolVar(&mf.quiet, "q", false, "suppress progress output")
 	fs.StringVar(&mf.jsonPath, "json", "", "write the experiment summary as machine-readable JSON to this file")
 	fs.StringVar(&mf.metricsPath, "metrics", "", "write a JSON telemetry snapshot to this file")
+	fs.StringVar(&mf.budgetPolicy, "budget-policy", "",
+		fmt.Sprintf("adaptive budget policy reallocating the matrix pool across (tool, program) cells at epoch barriers (%s; empty = fixed per-cell budgets)", strings.Join(budget.Policies(), "|")))
+	fs.IntVar(&mf.budgetEpochs, "budget-epochs", budget.DefaultEpochs, "allocation epochs under -budget-policy")
 	return mf
+}
+
+// budgeter maps the -budget-policy flags onto a strategy.Config field,
+// validating up front so a typo fails before the run starts.
+func (mf *matrixFlags) budgeter() *budget.Config {
+	if mf.budgetPolicy == "" {
+		return nil
+	}
+	cfg := &budget.Config{Policy: mf.budgetPolicy, Epochs: mf.budgetEpochs}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
+		os.Exit(2)
+	}
+	return cfg
 }
 
 func (mf *matrixFlags) programs() []bench.Program {
@@ -203,6 +226,7 @@ func (mf *matrixFlags) run(specs []string) *campaign.MatrixResult {
 		BaseSeed:  mf.seed,
 		Workers:   mf.workers,
 		Progress:  progress,
+		Budgeter:  mf.budgeter(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rffbench: %v\n", err)
@@ -211,6 +235,10 @@ func (mf *matrixFlags) run(specs []string) *campaign.MatrixResult {
 	stopProf()
 	if !mf.quiet {
 		fmt.Fprintf(os.Stderr, "matrix completed in %v\n", time.Since(start).Round(time.Millisecond))
+		if br := m.BudgetReport; br != nil {
+			fmt.Fprintf(os.Stderr, "budget policy %s: %d epochs, %d/%d executions spent, %d reallocations\n",
+				br.Policy, br.Epochs, br.Spent, br.Pool, br.Reallocations)
+		}
 	}
 	if errs := m.TrialErrors(); len(errs) > 0 {
 		fmt.Fprintf(os.Stderr, "warning: %d trials aborted with errors:\n", len(errs))

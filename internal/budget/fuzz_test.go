@@ -1,0 +1,93 @@
+package budget
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzBudgetPolicy drives every policy with an arbitrary reward stream
+// decoded from the fuzz input and checks the allocator's safety
+// invariants: no panic, no negative share, every epoch conserves the
+// pool across live cells, done cells stay unfunded, and replaying the
+// identical stream reproduces the identical trace.
+func FuzzBudgetPolicy(f *testing.F) {
+	f.Add(int64(1), uint8(0), []byte{})
+	f.Add(int64(2), uint8(1), []byte{0x10, 0x03, 0xff, 0x00, 0x7f})
+	f.Add(int64(3), uint8(2), []byte{0x01, 0x01, 0x01, 0x80, 0x80, 0x80})
+	f.Add(int64(-9), uint8(3), []byte{0xde, 0xad, 0xbe, 0xef, 0x42, 0x42, 0x42, 0x42})
+	f.Add(int64(1<<40), uint8(7), []byte{0x00, 0xff, 0x00, 0xff, 0x13, 0x37})
+
+	names := Policies()
+	f.Fuzz(func(t *testing.T, seed int64, policyByte uint8, stream []byte) {
+		policy := names[int(policyByte)%len(names)]
+		run := func() *Allocator {
+			cells := 1
+			if len(stream) > 0 {
+				cells = 1 + int(stream[0])%9
+			}
+			a, err := New(cells, seed, Config{Policy: policy, MinShare: int(policyByte) % 4})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			pos := 1
+			next := func() int {
+				if pos >= len(stream) {
+					return 0
+				}
+				v := int(stream[pos])
+				pos++
+				return v
+			}
+			for e := 0; e < 12; e++ {
+				pool := next() * 4
+				shares := a.Allocate(pool)
+				sum, live := 0, 0
+				for i, s := range shares {
+					if s < 0 {
+						t.Fatalf("policy %s epoch %d: negative share %d", policy, e, s)
+					}
+					if a.Done(i) {
+						if s != 0 {
+							t.Fatalf("policy %s epoch %d: done cell %d funded %d", policy, e, i, s)
+						}
+						continue
+					}
+					live++
+					sum += s
+				}
+				if live > 0 && sum != pool && pool >= 0 {
+					// With live cells the pool must be spent exactly —
+					// never over-allocated, never leaked.
+					t.Fatalf("policy %s epoch %d: allocated %d of pool %d across %d live cells",
+						policy, e, sum, pool, live)
+				}
+				for i, s := range shares {
+					if a.Done(i) {
+						continue
+					}
+					b := next()
+					exec := s
+					if b%3 == 0 && exec > 0 {
+						exec-- // cell stopped one short (bug/error)
+					}
+					np := 0
+					if exec > 0 {
+						np = b % (exec + 1)
+					}
+					a.Observe(i, Reward{Executions: exec, NewPairs: np, FirstBug: b&0x40 != 0})
+					if b&0x80 != 0 {
+						a.MarkDone(i)
+					}
+				}
+			}
+			return a
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a.Trace(), b.Trace()) {
+			t.Fatalf("policy %s: replaying the same stream produced a different trace", policy)
+		}
+		if !reflect.DeepEqual(a.Cells(), b.Cells()) {
+			t.Fatalf("policy %s: replaying the same stream produced different cell state", policy)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package budget
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// traceString renders an allocation trace in a compact, diffable form.
+func traceString(tr []EpochAllocation) string {
+	var b strings.Builder
+	for _, e := range tr {
+		if e.Epoch > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "e%d:%v", e.Epoch, e.Shares)
+	}
+	return b.String()
+}
+
+// TestGoldenTraces pins the exact allocation schedule of every policy
+// at seeds 1-3 under a fixed synthetic reward stream (4 cells, 5
+// epochs, pool 100). Any change to a policy's arithmetic, the
+// largest-remainder split, or the splitmix64 stream shows up here as a
+// readable share-vector diff.
+func TestGoldenTraces(t *testing.T) {
+	golden := map[string][3]string{
+		"uniform": {
+			"e0:[25 25 25 25] e1:[25 25 25 25] e2:[25 25 25 25] e3:[25 25 25 25] e4:[25 25 25 25]",
+			"e0:[25 25 25 25] e1:[25 25 25 25] e2:[25 25 25 25] e3:[25 25 25 25] e4:[25 25 25 25]",
+			"e0:[25 25 25 25] e1:[25 25 25 25] e2:[25 25 25 25] e3:[25 25 25 25] e4:[25 25 25 25]",
+		},
+		"ucb": {
+			"e0:[25 25 25 25] e1:[24 22 26 28] e2:[22 29 23 26] e3:[22 27 24 27] e4:[23 28 24 25]",
+			"e0:[25 25 25 25] e1:[28 21 29 22] e2:[28 23 24 25] e3:[25 24 25 26] e4:[25 25 25 25]",
+			"e0:[25 25 25 25] e1:[31 19 24 26] e2:[26 23 25 26] e3:[26 26 24 24] e4:[27 28 24 21]",
+		},
+		"eps-greedy": {
+			"e0:[25 25 25 25] e1:[4 3 3 90] e2:[4 3 3 90] e3:[4 3 90 3] e4:[4 3 3 90]",
+			"e0:[25 25 25 25] e1:[4 3 90 3] e2:[90 4 3 3] e3:[4 3 90 3] e4:[90 4 3 3]",
+			"e0:[25 25 25 25] e1:[90 4 3 3] e2:[90 4 3 3] e3:[4 3 90 3] e4:[90 4 3 3]",
+		},
+		"fox": {
+			"e0:[25 25 25 25] e1:[21 16 28 35] e2:[15 24 23 38] e3:[14 17 18 51] e4:[8 19 15 58]",
+			"e0:[25 25 25 25] e1:[33 16 34 17] e2:[44 12 30 14] e3:[46 13 22 19] e4:[42 11 31 16]",
+			"e0:[25 25 25 25] e1:[35 17 23 25] e2:[39 19 15 27] e3:[28 23 23 26] e4:[19 24 28 29]",
+		},
+	}
+	for _, policy := range Policies() {
+		want, ok := golden[policy]
+		if !ok {
+			t.Errorf("no golden trace for policy %q — add one", policy)
+			continue
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			a := runStream(t, policy, seed, 4, 5, 100)
+			got := traceString(a.Trace())
+			if got != want[seed-1] {
+				t.Errorf("policy %s seed %d:\n got  %q\n want %q", policy, seed, got, want[seed-1])
+			}
+		}
+	}
+}

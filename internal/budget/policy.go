@@ -1,0 +1,207 @@
+package budget
+
+import (
+	"math"
+	"sort"
+)
+
+// policy turns the allocator's cumulative cell view into relative
+// allocation weights for the next epoch. Implementations may keep
+// per-allocator state (fox does), but all randomness must come from
+// the provided stream and every computation must be a pure function of
+// (cells, epoch, stream position) so traces replay bit-identically.
+type policy interface {
+	name() string
+	// weights fills w with a non-negative weight per cell; the
+	// allocator ignores entries for done cells and falls back to
+	// uniform when every weight is zero or non-finite.
+	weights(cells []CellState, epoch int, rng *Rand, w []float64)
+}
+
+// policies maps a name to a fresh policy instance; each Allocator gets
+// its own so stateful policies never share across campaigns.
+var policies = map[string]func() policy{
+	"uniform":    func() policy { return uniformPolicy{} },
+	"ucb":        func() policy { return ucbPolicy{c: 1.0} },
+	"eps-greedy": func() policy { return epsGreedyPolicy{eps: 0.1} },
+	"fox":        func() policy { return &foxPolicy{alpha: 0.4} },
+}
+
+// Policies returns every registered policy name, sorted.
+func Policies() []string {
+	out := make([]string, 0, len(policies))
+	for name := range policies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AdaptivePolicies returns every policy except the uniform baseline.
+func AdaptivePolicies() []string {
+	var out []string
+	for _, name := range Policies() {
+		if name != "uniform" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ValidPolicy reports whether name is registered.
+func ValidPolicy(name string) bool {
+	_, ok := policies[name]
+	return ok
+}
+
+func newPolicy(name string) policy { return policies[name]() }
+
+// uniformPolicy is the fixed-budget baseline: every live cell weighs
+// the same, so the only adaptivity is the redistribution of done
+// cells' shares.
+type uniformPolicy struct{}
+
+func (uniformPolicy) name() string { return "uniform" }
+
+func (uniformPolicy) weights(cells []CellState, _ int, _ *Rand, w []float64) {
+	for i := range cells {
+		w[i] = 1
+	}
+}
+
+// ucbPolicy allocates proportionally to an upper confidence bound on
+// each cell's coverage yield: the lifetime pair rate (normalized to
+// the best cell) plus an exploration bonus that shrinks as a cell
+// accumulates funded epochs. Unfunded cells get the largest bonus, so
+// nothing is written off before it has been tried.
+type ucbPolicy struct{ c float64 }
+
+func (ucbPolicy) name() string { return "ucb" }
+
+func (p ucbPolicy) weights(cells []CellState, _ int, _ *Rand, w []float64) {
+	maxRate := 0.0
+	total := 1
+	for i := range cells {
+		total += cells[i].Funded
+		if !cells[i].Done && cells[i].Rate > maxRate {
+			maxRate = cells[i].Rate
+		}
+	}
+	for i := range cells {
+		norm := 0.0
+		if maxRate > 0 {
+			norm = cells[i].Rate / maxRate
+		}
+		bonus := p.c * math.Sqrt(2*math.Log(float64(total))/float64(cells[i].Funded+1))
+		w[i] = norm + bonus
+	}
+}
+
+// epsGreedyPolicy pours 1-eps of the pool onto the best-yielding cell
+// (ties broken by one deterministic draw from the stream) and spreads
+// eps uniformly. Before any reward arrives it stays uniform.
+type epsGreedyPolicy struct{ eps float64 }
+
+func (epsGreedyPolicy) name() string { return "eps-greedy" }
+
+func (p epsGreedyPolicy) weights(cells []CellState, _ int, rng *Rand, w []float64) {
+	best := -1.0
+	for i := range cells {
+		if !cells[i].Done && cells[i].Rate > best {
+			best = cells[i].Rate
+		}
+	}
+	active := 0
+	var ties []int
+	for i := range cells {
+		if cells[i].Done {
+			continue
+		}
+		active++
+		if cells[i].Rate == best {
+			ties = append(ties, i)
+		}
+	}
+	if active == 0 {
+		return
+	}
+	for i := range cells {
+		if !cells[i].Done {
+			w[i] = p.eps / float64(active)
+		}
+	}
+	if best <= 0 {
+		// No signal yet: stay uniform rather than crowning an
+		// arbitrary cell.
+		for i := range cells {
+			if !cells[i].Done {
+				w[i] = 1
+			}
+		}
+		return
+	}
+	w[ties[rng.Intn(len(ties))]] += 1 - p.eps
+}
+
+// foxPolicy is a gradient bandit in the spirit of FOX's online
+// stochastic control: per-cell preferences move by the advantage of
+// the cell's latest epoch rate over the mean of its funded peers, and
+// shares follow the softmax of the preferences. Advantages are
+// normalized to the largest magnitude in the epoch so the step size is
+// scale-free in the (tiny) pairs-per-execution rates.
+type foxPolicy struct {
+	alpha float64
+	pref  []float64
+}
+
+func (*foxPolicy) name() string { return "fox" }
+
+func (p *foxPolicy) weights(cells []CellState, epoch int, _ *Rand, w []float64) {
+	if p.pref == nil {
+		p.pref = make([]float64, len(cells))
+	}
+	var funded []int
+	for i := range cells {
+		if cells[i].LastFunded == epoch-1 {
+			funded = append(funded, i)
+		}
+	}
+	if len(funded) > 0 {
+		mean := 0.0
+		for _, i := range funded {
+			mean += cells[i].LastRate
+		}
+		mean /= float64(len(funded))
+		maxAbs := 0.0
+		for _, i := range funded {
+			if d := math.Abs(cells[i].LastRate - mean); d > maxAbs {
+				maxAbs = d
+			}
+		}
+		if maxAbs > 0 {
+			for _, i := range funded {
+				p.pref[i] += p.alpha * (cells[i].LastRate - mean) / maxAbs
+				if p.pref[i] > 10 {
+					p.pref[i] = 10
+				}
+				if p.pref[i] < -10 {
+					p.pref[i] = -10
+				}
+			}
+		}
+	}
+	maxPref := math.Inf(-1)
+	for i := range cells {
+		if !cells[i].Done && p.pref[i] > maxPref {
+			maxPref = p.pref[i]
+		}
+	}
+	if math.IsInf(maxPref, -1) {
+		return
+	}
+	for i := range cells {
+		if !cells[i].Done {
+			w[i] = math.Exp(p.pref[i] - maxPref)
+		}
+	}
+}

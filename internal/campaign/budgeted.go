@@ -1,0 +1,439 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"rff/internal/bench"
+	"rff/internal/budget"
+	"rff/internal/exec"
+	"rff/internal/fleet"
+	"rff/internal/telemetry"
+)
+
+// This file is the adaptive-budget matrix runner: instead of handing
+// every (tool, program, trial) cell a fixed budget up front, the total
+// execution pool (Budget x Trials x cells) is spent in epochs. Each
+// epoch is one fleet wave; at the barrier the runner folds every
+// cell's marginal rf-pair coverage and first-bug events into the
+// budget.Allocator, which decides the next epoch's shares. All
+// allocation decisions happen at the barrier in deterministic cell
+// order from barrier-merged data, so the outcome matrix, the
+// allocation trace, and the budget report are bit-identical at any
+// worker count.
+
+// PairCover records the first time a (tool, program) cell covered an
+// rf-pair, at an epoch-granular global execution index: executions
+// spent by the whole matrix before the cell's epoch began, plus the
+// cell's local index within the epoch.
+type PairCover struct {
+	Pair string `json:"pair"`
+	At   int64  `json:"at"`
+}
+
+// BudgetCellReport is one (tool, program) cell's allocation record.
+type BudgetCellReport struct {
+	Tool      string `json:"tool"`
+	Program   string `json:"program"`
+	Allocated int64  `json:"allocated"`
+	Spent     int64  `json:"spent"`
+	NewPairs  int64  `json:"new_pairs"`
+	// SharePct is the cell's percentage of the matrix's total spent
+	// executions.
+	SharePct float64 `json:"share_pct"`
+	// FirstBug is the epoch-granular global execution index of the
+	// cell's first failure (0 = none): matrix executions before the
+	// finding epoch plus the finding trial's local index.
+	FirstBug int64 `json:"first_bug,omitempty"`
+	Bug      bool  `json:"bug"`
+	Done     bool  `json:"done"`
+	// Covers lists first-cover events when Config.CollectCovers was
+	// set; the sched-eval harness turns these into coverage-at-
+	// checkpoint curves.
+	Covers []PairCover `json:"covers,omitempty"`
+}
+
+// BudgetReport is the machine-readable record of a budgeted matrix:
+// the policy, the full allocation trace, and per-cell accounting. It
+// is a pure function of (seed, policy, budget), like the outcomes.
+type BudgetReport struct {
+	Policy        string                   `json:"policy"`
+	Epochs        int                      `json:"epochs"`
+	MinShare      int                      `json:"min_share"`
+	Pool          int64                    `json:"pool"`
+	Spent         int64                    `json:"spent"`
+	Reallocations int                      `json:"reallocations"`
+	Cells         []BudgetCellReport       `json:"cells"`
+	Trace         []budget.EpochAllocation `json:"trace"`
+}
+
+// pairCollector gathers one epoch cell's executions and first-seen
+// rf-pairs. Only its own fleet cell touches it during the wave; the
+// merge barrier reads it afterwards.
+type pairCollector struct {
+	execs int
+	seen  map[string]int
+	order []string
+}
+
+func newPairCollector() *pairCollector {
+	return &pairCollector{seen: make(map[string]int)}
+}
+
+func (c *pairCollector) observe(res *exec.Result) {
+	c.execs++
+	if res.Trace == nil {
+		return
+	}
+	for _, p := range res.Trace.RFPairs() {
+		k := p.String()
+		if _, ok := c.seen[k]; !ok {
+			c.seen[k] = c.execs
+			c.order = append(c.order, k)
+		}
+	}
+}
+
+// budgetedTrial is one trial's cumulative state across epochs.
+type budgetedTrial struct {
+	cum      int64
+	firstBug int64
+	corpus   int
+	sigs     int
+	err      string
+	stack    string
+	done     bool
+}
+
+// budgetedPair is one allocator cell: a (tool, program) pair and its
+// trials, plus the pair's cumulative rf-pair set.
+type budgetedPair struct {
+	tool     Tool
+	toolName string
+	program  bench.Program
+	trials   []budgetedTrial
+	seen     map[string]struct{}
+	covers   []PairCover
+	firstBug int64
+	bug      bool
+	done     bool
+}
+
+func runMatrixBudgeted(ctx context.Context, tools []Tool, programs []bench.Program, opts MatrixOptions, workers int) *MatrixResult {
+	bcfg := *opts.Budgeter
+	maxTrials := 1
+	var pairs []*budgetedPair
+	res := &MatrixResult{
+		Budget:   opts.Budget,
+		Outcomes: make(map[string]map[string][]Outcome),
+	}
+	for _, tl := range tools {
+		res.Tools = append(res.Tools, tl.Name())
+		res.Outcomes[tl.Name()] = make(map[string][]Outcome)
+		trials := opts.Trials
+		if tl.Deterministic() {
+			// As in the fixed matrix, deterministic tools run a single
+			// trial that absorbs the whole per-pair entitlement.
+			trials = 1
+		}
+		if trials > maxTrials {
+			maxTrials = trials
+		}
+		for _, p := range programs {
+			res.Outcomes[tl.Name()][p.Name] = make([]Outcome, trials)
+			pairs = append(pairs, &budgetedPair{
+				tool:     tl,
+				toolName: tl.Name(),
+				program:  p,
+				trials:   make([]budgetedTrial, trials),
+				seen:     make(map[string]struct{}),
+			})
+		}
+	}
+	for _, p := range programs {
+		res.Programs = append(res.Programs, p.Name)
+	}
+	if len(pairs) == 0 {
+		return res
+	}
+
+	// The pair floor must fund every live trial of a funded pair, or
+	// the last trial of a multi-trial pair could starve forever.
+	if bcfg.MinShare < maxTrials {
+		bcfg.MinShare = maxTrials
+	}
+	allocSeed := int64(splitmix(uint64(opts.BaseSeed) ^ hashString("budget-allocator")))
+	alloc, err := budget.New(len(pairs), allocSeed, bcfg)
+	if err != nil {
+		// Every entry point validates the config before reaching the
+		// matrix; failing loudly beats silently falling back to fixed
+		// budgets.
+		panic(fmt.Sprintf("campaign: invalid budget config: %v", err))
+	}
+	bcfg = alloc.Config()
+	totalPool := int64(opts.Budget) * int64(opts.Trials) * int64(len(pairs))
+	epochs := bcfg.Epochs
+	basePool := totalPool / int64(epochs)
+	extra := totalPool % int64(epochs)
+
+	if t := opts.Telemetry; t != nil {
+		t.Emit(telemetry.EvCampaignStart, telemetry.Fields{
+			"tools":         res.Tools,
+			"programs":      len(res.Programs),
+			"trials":        opts.Trials,
+			"budget":        opts.Budget,
+			"budget_policy": bcfg.Policy,
+			"epochs":        epochs,
+			"pool":          totalPool,
+			"workers":       workers,
+		})
+	}
+
+	var globalSpent int64
+	for e := 0; e < epochs && ctx.Err() == nil && alloc.Active() > 0; e++ {
+		pool := basePool
+		if int64(e) < extra {
+			pool++
+		}
+		shares := alloc.Allocate(int(pool))
+
+		// Fan the epoch out: each funded pair's share splits evenly
+		// across its live trials (remainder to the lowest indexes),
+		// and every funded (pair, trial) becomes one fleet cell.
+		type epochJob struct {
+			pair  int
+			trial int
+			share int
+			col   *pairCollector
+		}
+		var jobs []epochJob
+		for pi, share := range shares {
+			if share <= 0 {
+				continue
+			}
+			ps := pairs[pi]
+			var live []int
+			for ti := range ps.trials {
+				if !ps.trials[ti].done {
+					live = append(live, ti)
+				}
+			}
+			base, rem := share/len(live), share%len(live)
+			for k, ti := range live {
+				s := base
+				if k < rem {
+					s++
+				}
+				if s > 0 {
+					jobs = append(jobs, epochJob{pair: pi, trial: ti, share: s, col: newPairCollector()})
+				}
+			}
+		}
+		cells := make([]fleet.Cell[Outcome], len(jobs))
+		for i, j := range jobs {
+			j := j
+			ps := pairs[j.pair]
+			cells[i] = fleet.Cell[Outcome]{
+				ID:   fmt.Sprintf("%s/%s[%d]@e%d", ps.toolName, ps.program.Name, j.trial, e),
+				Spec: ps.toolName,
+				Run: func(cctx context.Context, s *fleet.Scratch) (Outcome, error) {
+					tool := ps.tool
+					if ot, ok := tool.(ObservableTool); ok {
+						tool = ot.WithObserver(j.col.observe)
+					}
+					seed := budget.EpochSeed(TrialSeed(opts.BaseSeed, ps.toolName, ps.program.Name, j.trial), e)
+					if sr, ok := tool.(scratchRunner); ok {
+						ws, _ := s.State.(*workerState)
+						return sr.runScratch(cctx, ps.program, j.share, opts.MaxSteps, seed, ws), nil
+					}
+					return tool.Run(cctx, ps.program, j.share, opts.MaxSteps, seed), nil
+				},
+			}
+		}
+		results := fleet.Run(ctx, cells, fleet.Options{
+			Workers:     workers,
+			CellTimeout: opts.TrialTimeout,
+			NewState:    func(int) any { return &workerState{recycler: exec.NewRecycler()} },
+			Telemetry:   opts.Telemetry,
+		})
+
+		// Barrier: fold the wave back in deterministic job order, then
+		// feed the allocator. Nothing below reads anything
+		// scheduling-dependent.
+		epochExecs := make([]int64, len(pairs))
+		epochNew := make([]int, len(pairs))
+		epochBug := make([]bool, len(pairs))
+		for i, r := range results {
+			j := jobs[i]
+			ps := pairs[j.pair]
+			ts := &ps.trials[j.trial]
+			out := r.Value
+			if r.Err != nil {
+				out = Outcome{Err: r.Err.Error(), Stack: r.Stack}
+			}
+			if out.Found() && ts.firstBug == 0 {
+				ts.firstBug = ts.cum + int64(out.FirstBug)
+				ts.done = true
+				epochBug[j.pair] = true
+				if cand := globalSpent + int64(out.FirstBug); ps.firstBug == 0 || cand < ps.firstBug {
+					ps.firstBug = cand
+				}
+				ps.bug = true
+			}
+			if out.Errored() {
+				ts.err = out.Err
+				ts.stack = out.Stack
+				ts.done = true
+			}
+			ts.cum += int64(out.Executions)
+			if out.CorpusSize > 0 {
+				ts.corpus = out.CorpusSize
+			}
+			if out.UniqueSigs > 0 {
+				ts.sigs = out.UniqueSigs
+			}
+			epochExecs[j.pair] += int64(out.Executions)
+			for _, pk := range j.col.order {
+				if _, dup := ps.seen[pk]; dup {
+					continue
+				}
+				ps.seen[pk] = struct{}{}
+				epochNew[j.pair]++
+				if bcfg.CollectCovers {
+					ps.covers = append(ps.covers, PairCover{Pair: pk, At: globalSpent + int64(j.col.seen[pk])})
+				}
+			}
+		}
+		var waveExecs int64
+		var waveNew int
+		for pi, ps := range pairs {
+			if ps.done {
+				continue
+			}
+			alloc.Observe(pi, budget.Reward{
+				Executions: int(epochExecs[pi]),
+				NewPairs:   epochNew[pi],
+				FirstBug:   epochBug[pi],
+			})
+			allDone := true
+			for ti := range ps.trials {
+				if !ps.trials[ti].done {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				ps.done = true
+				alloc.MarkDone(pi)
+			}
+			waveExecs += epochExecs[pi]
+			waveNew += epochNew[pi]
+		}
+		globalSpent += waveExecs
+		if t := opts.Telemetry; t != nil {
+			t.Add(telemetry.MBudgetEpochs, 1)
+			t.Emit(telemetry.EvBudgetEpoch, telemetry.Fields{
+				"epoch":      e,
+				"pool":       pool,
+				"executions": waveExecs,
+				"new_pairs":  waveNew,
+				"active":     alloc.Active(),
+				"spent":      globalSpent,
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(e+1, epochs)
+		}
+	}
+
+	// Final accounting in matrix order: outcomes, trial events, and the
+	// budget report.
+	cancelled := ctx.Err()
+	for _, ps := range pairs {
+		for ti := range ps.trials {
+			ts := &ps.trials[ti]
+			if cancelled != nil && !ts.done && ts.err == "" && ts.firstBug == 0 {
+				ts.err = fmt.Sprintf("trial aborted after %d schedules: %v", ts.cum, cancelled)
+			}
+			out := Outcome{
+				FirstBug:   int(ts.firstBug),
+				Executions: int(ts.cum),
+				Budget:     int(ts.cum),
+				CorpusSize: ts.corpus,
+				UniqueSigs: ts.sigs,
+				Err:        ts.err,
+				Stack:      ts.stack,
+			}
+			res.Outcomes[ps.toolName][ps.program.Name][ti] = out
+			if t := opts.Telemetry; t != nil {
+				labels := []telemetry.Label{{Name: "tool", Value: ps.toolName}, {Name: "program", Value: ps.program.Name}}
+				t.Add(telemetry.MTrialsDone, 1, labels...)
+				if out.Errored() {
+					t.Add(telemetry.MTrialPanics, 1, labels...)
+					fields := telemetry.Fields{
+						"tool":    ps.toolName,
+						"program": ps.program.Name,
+						"trial":   ti,
+						"error":   out.Err,
+					}
+					if out.Stack != "" {
+						fields["stack"] = out.Stack
+					}
+					t.Emit(telemetry.EvTrialError, fields)
+				} else {
+					t.Emit(telemetry.EvTrialDone, telemetry.Fields{
+						"tool":       ps.toolName,
+						"program":    ps.program.Name,
+						"trial":      ti,
+						"executions": out.Executions,
+						"first_bug":  out.FirstBug,
+					})
+				}
+			}
+		}
+	}
+
+	states := alloc.Cells()
+	rep := &BudgetReport{
+		Policy:        bcfg.Policy,
+		Epochs:        alloc.Epoch(),
+		MinShare:      bcfg.MinShare,
+		Pool:          totalPool,
+		Spent:         globalSpent,
+		Reallocations: alloc.Reallocations(),
+		Trace:         alloc.Trace(),
+	}
+	for pi, ps := range pairs {
+		st := states[pi]
+		cell := BudgetCellReport{
+			Tool:      ps.toolName,
+			Program:   ps.program.Name,
+			Allocated: st.Allocated,
+			Spent:     st.Spent,
+			NewPairs:  st.NewPairs,
+			FirstBug:  ps.firstBug,
+			Bug:       ps.bug,
+			Done:      ps.done,
+			Covers:    ps.covers,
+		}
+		if globalSpent > 0 {
+			cell.SharePct = 100 * float64(st.Spent) / float64(globalSpent)
+		}
+		rep.Cells = append(rep.Cells, cell)
+		if t := opts.Telemetry; t != nil {
+			t.Set(telemetry.MBudgetShare, int64(cell.SharePct+0.5),
+				telemetry.L("tool", ps.toolName), telemetry.L("program", ps.program.Name))
+		}
+	}
+	res.BudgetReport = rep
+	if t := opts.Telemetry; t != nil {
+		t.Add(telemetry.MBudgetReallocations, int64(rep.Reallocations))
+		t.Emit(telemetry.EvCampaignDone, telemetry.Fields{
+			"epochs": rep.Epochs,
+			"pool":   rep.Pool,
+			"spent":  rep.Spent,
+			"errors": len(res.TrialErrors()),
+		})
+	}
+	return res
+}

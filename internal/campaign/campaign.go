@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rff/internal/bench"
+	"rff/internal/budget"
 	"rff/internal/core"
 	"rff/internal/exec"
 	"rff/internal/fleet"
@@ -86,6 +87,31 @@ type Tool interface {
 // Observers run before the trace is reclaimed and must not retain it.
 type ResultObserver func(res *exec.Result)
 
+// ObservableTool is the optional Tool extension the budgeted matrix
+// runner uses to watch the executions of the trials it schedules:
+// WithObserver returns a copy of the tool whose runs additionally
+// invoke obs, chained after any observer the tool already carries.
+// Every built-in tool implements it; a tool that does not simply runs
+// unobserved (its budget cells earn zero coverage reward).
+type ObservableTool interface {
+	Tool
+	WithObserver(obs ResultObserver) Tool
+}
+
+// chainObservers composes two observers, tolerating nil on either side.
+func chainObservers(a, b ResultObserver) ResultObserver {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(res *exec.Result) {
+		a(res)
+		b(res)
+	}
+}
+
 // subSeed derives a per-execution seed from a trial seed; splitmix64-style
 // mixing keeps streams independent across executions.
 func subSeed(seed int64, i int) int64 {
@@ -156,6 +182,12 @@ func (t RFFTool) Name() string {
 
 // Deterministic implements Tool.
 func (t RFFTool) Deterministic() bool { return false }
+
+// WithObserver implements ObservableTool.
+func (t RFFTool) WithObserver(obs ResultObserver) Tool {
+	t.Observer = chainObservers(t.Observer, obs)
+	return t
+}
 
 // Run implements Tool.
 func (t RFFTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome {
@@ -248,6 +280,12 @@ func (t SchedulerTool) Name() string { return t.ToolName }
 // Deterministic implements Tool.
 func (t SchedulerTool) Deterministic() bool { return false }
 
+// WithObserver implements ObservableTool.
+func (t SchedulerTool) WithObserver(obs ResultObserver) Tool {
+	t.Observer = chainObservers(t.Observer, obs)
+	return t
+}
+
 // Run implements Tool.
 func (t SchedulerTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, seed int64) Outcome {
 	return t.runScratch(ctx, p, budget, maxSteps, seed, nil)
@@ -319,9 +357,14 @@ func (t SchedulerTool) runScratch(ctx context.Context, p bench.Program, budget, 
 // the exploration is a pure function of the program and budget.
 type SystematicTool struct {
 	ToolName string
+	// Observer, if non-nil, sees every counted execution's result; Run
+	// hands it to Explore so WithObserver composition reaches the
+	// enumeration loop.
+	Observer ResultObserver
 	// Explore runs the enumeration under ctx — cancellation must stop it
-	// within one scheduling step — and returns the trial outcome.
-	Explore func(ctx context.Context, p bench.Program, budget, maxSteps int) Outcome
+	// within one scheduling step — and returns the trial outcome. obs
+	// (possibly nil) must see every counted execution.
+	Explore func(ctx context.Context, p bench.Program, budget, maxSteps int, obs ResultObserver) Outcome
 }
 
 // Name implements Tool.
@@ -330,9 +373,15 @@ func (t SystematicTool) Name() string { return t.ToolName }
 // Deterministic implements Tool.
 func (t SystematicTool) Deterministic() bool { return true }
 
+// WithObserver implements ObservableTool.
+func (t SystematicTool) WithObserver(obs ResultObserver) Tool {
+	t.Observer = chainObservers(t.Observer, obs)
+	return t
+}
+
 // Run implements Tool.
 func (t SystematicTool) Run(ctx context.Context, p bench.Program, budget, maxSteps int, _ int64) Outcome {
-	return t.Explore(ctx, p, budget, maxSteps)
+	return t.Explore(ctx, p, budget, maxSteps, t.Observer)
 }
 
 // --- matrix runner ----------------------------------------------------------------
@@ -368,6 +417,14 @@ type MatrixOptions struct {
 	// metrics) and the campaign event stream (campaign-start,
 	// trial-done, trial_error, campaign-done).
 	Telemetry telemetry.Sink
+	// Budgeter, when non-nil with a non-empty Policy, switches the
+	// matrix to adaptive budget scheduling: the total execution pool
+	// (Budget x Trials x cells) is spent in epochs, reallocated across
+	// (tool, program) cells by the named policy. Callers must validate
+	// the config first (budget.Config.Validate); an invalid policy
+	// panics here. TrialTimeout applies per epoch cell rather than per
+	// trial in this mode.
+	Budgeter *budget.Config
 }
 
 // workerState is the campaign's per-fleet-worker scratch: allocation
@@ -394,6 +451,9 @@ type MatrixResult struct {
 	Budget   int
 	// Outcomes[tool][program] is the per-trial outcome list.
 	Outcomes map[string]map[string][]Outcome
+	// BudgetReport records the adaptive allocation schedule; nil for
+	// fixed-budget (non-Budgeter) matrices.
+	BudgetReport *BudgetReport `json:",omitempty"`
 }
 
 // RunMatrix executes the evaluation matrix, parallelizing across trials
@@ -429,6 +489,9 @@ func RunMatrixContext(ctx context.Context, tools []Tool, programs []bench.Progra
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Budgeter != nil && opts.Budgeter.Policy != "" {
+		return runMatrixBudgeted(ctx, tools, programs, opts, workers)
 	}
 
 	res := &MatrixResult{

@@ -1,0 +1,119 @@
+package conformance
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rff/internal/budget"
+)
+
+// budgetedSmallOpts mirrors smallOpts with an adaptive budget policy.
+func budgetedSmallOpts(seed int64, policy string) Options {
+	o := smallOpts(seed)
+	o.Programs = 2
+	o.BudgetPolicy = policy
+	o.BudgetEpochs = 4
+	return o
+}
+
+// TestBudgetedConformanceClean: a budgeted conformance run upholds the
+// same invariants as the fixed-budget one — zero violations, every
+// replay reproduces — and additionally accounts the allocated budget.
+func TestBudgetedConformanceClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance matrix is slow under -short")
+	}
+	rep := Run(budgetedSmallOpts(1, "ucb"))
+	if rep.Err != "" {
+		t.Fatalf("run aborted: %s", rep.Err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("budgeted conformance violations:\n%s", rep.Summary())
+	}
+	if rep.BudgetPolicy != "ucb" || rep.BudgetEpochs != 4 {
+		t.Fatalf("report lost the budget config: %q/%d", rep.BudgetPolicy, rep.BudgetEpochs)
+	}
+	var allocated, execs int64
+	for _, tr := range rep.Tools {
+		if tr.TrialsRun == 0 {
+			t.Fatalf("tool %s ran no trials", tr.Tool)
+		}
+		if tr.ReplayFailures != 0 {
+			t.Fatalf("tool %s: %d replay failures", tr.Tool, tr.ReplayFailures)
+		}
+		allocated += tr.Allocated
+		execs += tr.Executions
+	}
+	if allocated == 0 {
+		t.Fatal("no tool reports an allocated budget")
+	}
+	if execs > allocated {
+		t.Fatalf("executions %d exceed allocated budget %d", execs, allocated)
+	}
+}
+
+// TestBudgetedConformanceDeterministic: a budgeted run is a pure
+// function of (seed, options) — bit-identical on rerun and at any
+// worker count — for every registered policy.
+func TestBudgetedConformanceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance matrix is slow under -short")
+	}
+	for _, policy := range budget.AdaptivePolicies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			opts := budgetedSmallOpts(2, policy)
+			a := Run(opts)
+			b := Run(opts)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("identical budgeted runs diverged:\n%s\nvs\n%s", mustJSON(a), mustJSON(b))
+			}
+			opts.Workers = 4
+			c := Run(opts)
+			if !reflect.DeepEqual(a, c) {
+				t.Fatalf("worker count changed the budgeted report:\n%s\nvs\n%s", mustJSON(a), mustJSON(c))
+			}
+		})
+	}
+}
+
+// TestBudgetedUniformTTFBSchemaShared: the fixed path populates the
+// same TTFB field the budgeted path does, so sched-eval can read either
+// report shape. Uses a seed whose programs contain reachable failures.
+func TestBudgetedUniformTTFBSchemaShared(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance matrix is slow under -short")
+	}
+	fixed := Run(smallOpts(1))
+	anyBug := false
+	for _, tr := range fixed.Tools {
+		if tr.BugsFound > 0 {
+			anyBug = true
+			if tr.TTFB.Samples == 0 {
+				t.Fatalf("tool %s found %d bugs but reports no TTFB samples", tr.Tool, tr.BugsFound)
+			}
+			if tr.TTFB.Median <= 0 || tr.TTFB.Median > float64(fixed.Budget) {
+				t.Fatalf("tool %s: implausible TTFB median %.1f", tr.Tool, tr.TTFB.Median)
+			}
+		} else if tr.TTFB.Samples != 0 {
+			t.Fatalf("tool %s found no bugs but reports TTFB samples", tr.Tool)
+		}
+	}
+	if !anyBug {
+		t.Skip("seed 1 programs exposed no bugs; TTFB schema not exercised")
+	}
+}
+
+// TestBudgetedInvalidPolicyPanics: fill() rejects an unknown policy
+// loudly — entry points validate before calling Run.
+func TestBudgetedInvalidPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid budget policy did not panic")
+		}
+	}()
+	o := budgetedSmallOpts(1, "no-such-policy")
+	_ = RunContext(context.Background(), o)
+}

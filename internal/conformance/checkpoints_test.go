@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCheckpoints pins the sampling-point schedule for the budget edge
+// cases the coverage curves must survive: the degenerate budgets 0 and
+// 1, a non-power-of-two budget, and an exact power of two (which must
+// not be emitted twice).
+func TestCheckpoints(t *testing.T) {
+	cases := []struct {
+		budget int
+		want   []int
+	}{
+		{0, []int{0}},
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{7, []int{1, 2, 4, 7}},
+		{8, []int{1, 2, 4, 8}},
+		{300, []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 300}},
+	}
+	for _, c := range cases {
+		if got := Checkpoints(c.budget); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Checkpoints(%d) = %v, want %v", c.budget, got, c.want)
+		}
+	}
+}
+
+// TestCheckpointsMonotone: every schedule is strictly increasing and
+// ends exactly at the budget, for a sweep of budgets.
+func TestCheckpointsMonotone(t *testing.T) {
+	for budget := 1; budget <= 1024; budget++ {
+		cp := Checkpoints(budget)
+		if cp[len(cp)-1] != budget {
+			t.Fatalf("Checkpoints(%d) ends at %d", budget, cp[len(cp)-1])
+		}
+		for i := 1; i < len(cp); i++ {
+			if cp[i] <= cp[i-1] {
+				t.Fatalf("Checkpoints(%d) not strictly increasing: %v", budget, cp)
+			}
+		}
+	}
+}
+
+// TestCoverageAt pins the fold of first-cover times into fractions.
+func TestCoverageAt(t *testing.T) {
+	cp := []int{1, 2, 4, 7}
+	covers := []int{1, 3, 3, 7}
+
+	got := CoverageAt(cp, covers, 8)
+	want := []float64{1.0 / 8, 1.0 / 8, 3.0 / 8, 4.0 / 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CoverageAt = %v, want %v", got, want)
+	}
+
+	// Empty ground truth: all zeros — nothing to cover, no credit.
+	if got := CoverageAt(cp, nil, 0); !reflect.DeepEqual(got, []float64{0, 0, 0, 0}) {
+		t.Fatalf("CoverageAt with empty GT = %v, want zeros", got)
+	}
+	// Even observed covers against an empty GT stay zero (the covers
+	// would be violations, not coverage).
+	if got := CoverageAt(cp, covers, 0); !reflect.DeepEqual(got, []float64{0, 0, 0, 0}) {
+		t.Fatalf("CoverageAt(covers, gt=0) = %v, want zeros", got)
+	}
+
+	// No covers at all: zeros of the right length.
+	if got := CoverageAt(cp, nil, 5); !reflect.DeepEqual(got, []float64{0, 0, 0, 0}) {
+		t.Fatalf("CoverageAt with no covers = %v, want zeros", got)
+	}
+
+	// Empty checkpoint list (budget never filled): empty, not nil panic.
+	if got := CoverageAt(nil, covers, 8); len(got) != 0 {
+		t.Fatalf("CoverageAt with no checkpoints = %v, want empty", got)
+	}
+
+	// Full coverage before the first checkpoint.
+	if got := CoverageAt([]int{1}, []int{1, 1}, 2); got[0] != 1.0 {
+		t.Fatalf("full early coverage = %v, want [1]", got)
+	}
+}
+
+// TestNewTTFB pins the shared TTFB summary schema.
+func TestNewTTFB(t *testing.T) {
+	if got := NewTTFB(nil); got != (TTFB{}) {
+		t.Fatalf("NewTTFB(nil) = %+v, want zero", got)
+	}
+	if got := NewTTFB(nil).String(); got != "-" {
+		t.Fatalf("zero TTFB renders %q, want \"-\"", got)
+	}
+	got := NewTTFB([]float64{10, 30, 20})
+	if got.Samples != 3 || got.Mean != 20 || got.Median != 20 {
+		t.Fatalf("NewTTFB = %+v, want {3 20 20}", got)
+	}
+	if got.String() != "20.0" {
+		t.Fatalf("TTFB renders %q", got.String())
+	}
+	even := NewTTFB([]float64{10, 20})
+	if even.Median != 15 {
+		t.Fatalf("even-sample median = %v, want 15", even.Median)
+	}
+}

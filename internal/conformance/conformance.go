@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"strings"
 
+	"rff/internal/bench"
+	"rff/internal/budget"
 	"rff/internal/campaign"
 	"rff/internal/core"
 	"rff/internal/exec"
@@ -77,6 +79,15 @@ type Options struct {
 	// "sync", "all"; default "core"). A non-empty value overrides
 	// Gen.Features.
 	Grammar string
+	// BudgetPolicy, when non-empty, replaces the fixed per-cell budget
+	// with an adaptive epoch allocator (see internal/budget): each
+	// program's (spec, trial) cells share a pool of Budget x cells
+	// executions, reallocated every epoch by the named policy. Results
+	// stay a pure function of (seed, options) at any worker count.
+	BudgetPolicy string
+	// BudgetEpochs is the number of allocation epochs under BudgetPolicy
+	// (default budget.DefaultEpochs).
+	BudgetEpochs int
 	// Telemetry, if non-nil, receives conformance metrics and events.
 	Telemetry telemetry.Sink
 	// Progress, if non-nil, is called after each checked program.
@@ -114,6 +125,17 @@ func (o *Options) fill() {
 			panic(fmt.Sprintf("conformance: %v", err))
 		}
 		o.Gen.Features = f
+	}
+	if o.BudgetPolicy == "" {
+		o.BudgetEpochs = 0
+	} else {
+		bc := budget.Config{Policy: o.BudgetPolicy, Epochs: o.BudgetEpochs}
+		if err := bc.Validate(); err != nil {
+			panic(fmt.Sprintf("conformance: %v", err))
+		}
+		if o.BudgetEpochs <= 0 {
+			o.BudgetEpochs = budget.DefaultEpochs
+		}
 	}
 }
 
@@ -328,11 +350,18 @@ type cellResult struct {
 	// coverage[i] is the fraction (0..1) of ground-truth rf-pairs
 	// covered by checkpoint i.
 	coverage []float64
+	// firstBug is the 1-based execution index of the cell's first
+	// observed failure; 0 if the cell found no bug.
+	firstBug int
+	// allocated is the execution budget the adaptive allocator granted
+	// the cell; 0 under fixed budgets.
+	allocated int64
 }
 
-// checkpoints returns the coverage sampling points: powers of two up to
-// the budget, then the budget itself.
-func checkpoints(budget int) []int {
+// Checkpoints returns the coverage sampling points for a budget: powers
+// of two up to the budget, then the budget itself. A non-positive
+// budget yields the single checkpoint [budget].
+func Checkpoints(budget int) []int {
 	var cp []int
 	for b := 1; b < budget; b *= 2 {
 		cp = append(cp, b)
@@ -340,8 +369,10 @@ func checkpoints(budget int) []int {
 	return append(cp, budget)
 }
 
-// coverageAt folds first-cover times into per-checkpoint fractions.
-func coverageAt(cp []int, coverTimes []int, gtPairs int) []float64 {
+// CoverageAt folds first-cover execution indexes into per-checkpoint
+// covered fractions (0..1). An empty ground truth yields all zeros:
+// there is nothing to cover, so no tool gets credit.
+func CoverageAt(cp []int, coverTimes []int, gtPairs int) []float64 {
 	out := make([]float64, len(cp))
 	if gtPairs == 0 {
 		return out
@@ -358,6 +389,180 @@ func coverageAt(cp []int, coverTimes []int, gtPairs int) []float64 {
 	return out
 }
 
+// EnumeratePairs enumerates a program's complete rf-pair ground truth
+// with the systematic explorer. ok is false when the decision tree did
+// not enumerate completely within gtBudget (or an execution truncated
+// at maxSteps) — such programs must be skipped, not compared against.
+func EnumeratePairs(ctx context.Context, name string, body exec.Program, gtBudget, maxSteps int) (pairs map[string]struct{}, ok bool) {
+	gt := newBehaviorSet()
+	gtRep := systematic.ExploreContext(ctx, name, body, systematic.ExploreOptions{
+		MaxExecutions: gtBudget,
+		MaxSteps:      maxSteps,
+		OnExecution:   gt.add,
+	})
+	if !gtRep.Complete || gt.truncated {
+		return nil, false
+	}
+	return gt.pairs, true
+}
+
+// firstBugOf extracts a collector's first-bug execution index (0 when
+// the cell observed no failure).
+func firstBugOf(col *collector) int {
+	if len(col.failures) == 0 {
+		return 0
+	}
+	return col.failures[0].execution
+}
+
+// toolSlot is one resolved strategy spec of a run.
+type toolSlot struct {
+	spec   string
+	name   string
+	det    bool
+	trials int
+}
+
+// progCellID addresses one (spec, trial) cell of one program.
+type progCellID struct{ slot, trial int }
+
+// runProgramBudgeted runs one program's (spec, trial) cells under an
+// adaptive epoch allocator instead of fixed per-cell budgets. The
+// cells share a pool of Budget x len(ids) executions; each epoch the
+// policy reallocates the epoch's slice by observed reward (marginal
+// ground-truth rf-pair coverage and first-bug events). Collectors
+// persist across epochs, so coverage first-cover indexes remain
+// cumulative per cell and the returned cellResults slot into the same
+// merge loop as the fixed path. Cells stop (and release their budget)
+// on their first failure, infrastructure error, or recovered panic.
+//
+// The allocator and every epoch's trial seeds derive from (Seed,
+// program, cell) alone, so the result is a pure function of (seed,
+// options) at any worker count.
+func runProgramBudgeted(ctx context.Context, opts Options, cp []int, slots []toolSlot, ids []progCellID, bp bench.Program, gt *behaviorSet) []fleet.Result[cellResult] {
+	cols := make([]*collector, len(ids))
+	for i, id := range ids {
+		cols[i] = newCollector(gt, bp.Name, slots[id.slot].name)
+	}
+	done := make([]bool, len(ids))
+	cellErr := make([]error, len(ids))
+	bugSeen := make([]bool, len(ids))
+	prevExecs := make([]int, len(ids))
+	prevCovers := make([]int, len(ids))
+
+	// fill() validated the config; New cannot fail here.
+	allocSeed := campaign.TrialSeed(opts.Seed, "budget-allocator", bp.Name, 0)
+	alloc, err := budget.New(len(ids), allocSeed, budget.Config{
+		Policy: opts.BudgetPolicy,
+		Epochs: opts.BudgetEpochs,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("conformance: %v", err))
+	}
+	epochs := alloc.Config().Epochs
+	total := int64(opts.Budget) * int64(len(ids))
+	basePool := total / int64(epochs)
+	extra := total % int64(epochs)
+
+	for e := 0; e < epochs && ctx.Err() == nil && alloc.Active() > 0; e++ {
+		pool := basePool
+		if int64(e) < extra {
+			pool++
+		}
+		shares := alloc.Allocate(int(pool))
+
+		type job struct{ cell, share int }
+		var jobs []job
+		for i, s := range shares {
+			if s > 0 {
+				jobs = append(jobs, job{i, s})
+			}
+		}
+		cells := make([]fleet.Cell[campaign.Outcome], len(jobs))
+		for k, j := range jobs {
+			j := j
+			id := ids[j.cell]
+			slot := slots[id.slot]
+			col := cols[j.cell]
+			cells[k] = fleet.Cell[campaign.Outcome]{
+				ID:   fmt.Sprintf("%s/%s[%d]@e%d", slot.name, bp.Name, id.trial, e),
+				Spec: slot.name,
+				Run: func(cctx context.Context, _ *fleet.Scratch) (campaign.Outcome, error) {
+					tool, err := strategy.Resolve(slot.spec, strategy.Config{Observer: col.observe})
+					if err != nil {
+						return campaign.Outcome{}, err
+					}
+					seed := budget.EpochSeed(campaign.TrialSeed(opts.Seed, slot.name, bp.Name, id.trial), e)
+					return tool.Run(cctx, bp, j.share, opts.MaxSteps, seed), nil
+				},
+			}
+		}
+		res := fleet.Run(ctx, cells, fleet.Options{Workers: opts.Workers})
+
+		// Epoch barrier: fold outcomes and feed the allocator, both in
+		// deterministic cell order.
+		for k, r := range res {
+			i := jobs[k].cell
+			if r.Err != nil {
+				cellErr[i] = r.Err
+				done[i] = true
+				continue
+			}
+			if out := r.Value; out.Errored() {
+				cols[i].violations = append(cols[i].violations, Violation{
+					Program: bp.Name, Tool: cols[i].tool, Kind: "trial-error", Detail: out.Err,
+				})
+				done[i] = true
+			}
+		}
+		for i := range ids {
+			if alloc.Done(i) {
+				continue
+			}
+			col := cols[i]
+			first := false
+			if !bugSeen[i] && len(col.failures) > 0 {
+				bugSeen[i] = true
+				first = true
+				done[i] = true
+			}
+			alloc.Observe(i, budget.Reward{
+				Executions: col.execs - prevExecs[i],
+				NewPairs:   len(col.coverTimes) - prevCovers[i],
+				FirstBug:   first,
+			})
+			prevExecs[i] = col.execs
+			prevCovers[i] = len(col.coverTimes)
+			if done[i] {
+				alloc.MarkDone(i)
+			}
+		}
+	}
+
+	states := alloc.Cells()
+	out := make([]fleet.Result[cellResult], len(ids))
+	for i := range ids {
+		if cellErr[i] != nil {
+			out[i] = fleet.Result[cellResult]{Err: cellErr[i]}
+			continue
+		}
+		col := cols[i]
+		replays, failedReplays := col.replayCheck(bp.Body, opts.MaxSteps)
+		out[i] = fleet.Result[cellResult]{Value: cellResult{
+			tool:           col.tool,
+			executions:     col.execs,
+			foundBug:       len(col.failures) > 0,
+			replays:        replays,
+			replayFailures: failedReplays,
+			violations:     col.violations,
+			coverage:       CoverageAt(cp, col.coverTimes, len(gt.pairs)),
+			firstBug:       firstBugOf(col),
+			allocated:      states[i].Allocated,
+		}}
+	}
+	return out
+}
+
 // Run executes a conformance run to completion.
 func Run(opts Options) *Report { return RunContext(context.Background(), opts) }
 
@@ -369,23 +574,19 @@ func Run(opts Options) *Report { return RunContext(context.Background(), opts) }
 func RunContext(ctx context.Context, opts Options) *Report {
 	opts.fill()
 	rep := &Report{
-		Seed:        opts.Seed,
-		Grammar:     progen.GrammarName(opts.Gen.Features),
-		Budget:      opts.Budget,
-		GTBudget:    opts.GTBudget,
-		Trials:      opts.Trials,
-		Checkpoints: checkpoints(opts.Budget),
+		Seed:         opts.Seed,
+		Grammar:      progen.GrammarName(opts.Gen.Features),
+		Budget:       opts.Budget,
+		GTBudget:     opts.GTBudget,
+		Trials:       opts.Trials,
+		BudgetPolicy: opts.BudgetPolicy,
+		BudgetEpochs: opts.BudgetEpochs,
+		Checkpoints:  Checkpoints(opts.Budget),
 	}
 
 	// Resolve every spec once up front: validates them, fixes the
 	// canonical tool-name order of the report, and fails fast on an
 	// unknown spec.
-	type toolSlot struct {
-		spec   string
-		name   string
-		det    bool
-		trials int
-	}
 	var slots []toolSlot
 	for _, spec := range opts.Specs {
 		t, err := strategy.Resolve(spec, strategy.Config{})
@@ -406,7 +607,8 @@ func RunContext(ctx context.Context, opts Options) *Report {
 	}
 
 	gen := progen.NewGenerator(opts.Seed, opts.Gen)
-	coverSamples := make([]int, len(slots)) // per-tool (program, trial) sample counts
+	coverSamples := make([]int, len(slots))    // per-tool (program, trial) sample counts
+	ttfbTimes := make([][]float64, len(slots)) // per-tool first-bug execution indexes
 
 	for rep.Programs < opts.Programs {
 		if ctx.Err() != nil {
@@ -442,15 +644,22 @@ func RunContext(ctx context.Context, opts Options) *Report {
 
 		// Every (spec, trial) cell, on the fleet pool; merge in cell
 		// order keeps the report deterministic at any worker count.
-		type cellID struct{ slot, trial int }
-		var ids []cellID
-		var cells []fleet.Cell[cellResult]
+		var ids []progCellID
 		for si, slot := range slots {
 			for tr := 0; tr < slot.trials; tr++ {
-				si, tr, slot := si, tr, slot
-				ids = append(ids, cellID{si, tr})
+				ids = append(ids, progCellID{si, tr})
+			}
+		}
+		var results []fleet.Result[cellResult]
+		if opts.BudgetPolicy != "" {
+			results = runProgramBudgeted(ctx, opts, rep.Checkpoints, slots, ids, bp, gt)
+		} else {
+			var cells []fleet.Cell[cellResult]
+			for _, id := range ids {
+				id := id
+				slot := slots[id.slot]
 				cells = append(cells, fleet.Cell[cellResult]{
-					ID:   fmt.Sprintf("%s/%s[%d]", slot.name, bp.Name, tr),
+					ID:   fmt.Sprintf("%s/%s[%d]", slot.name, bp.Name, id.trial),
 					Spec: slot.name,
 					Run: func(cctx context.Context, _ *fleet.Scratch) (cellResult, error) {
 						col := newCollector(gt, bp.Name, slot.name)
@@ -458,7 +667,7 @@ func RunContext(ctx context.Context, opts Options) *Report {
 						if err != nil {
 							return cellResult{}, err
 						}
-						seed := campaign.TrialSeed(opts.Seed, slot.name, bp.Name, tr)
+						seed := campaign.TrialSeed(opts.Seed, slot.name, bp.Name, id.trial)
 						out := tool.Run(cctx, bp, opts.Budget, opts.MaxSteps, seed)
 						if out.Errored() {
 							col.violations = append(col.violations, Violation{
@@ -473,13 +682,14 @@ func RunContext(ctx context.Context, opts Options) *Report {
 							replays:        replays,
 							replayFailures: failedReplays,
 							violations:     col.violations,
-							coverage:       coverageAt(rep.Checkpoints, col.coverTimes, len(gt.pairs)),
+							coverage:       CoverageAt(rep.Checkpoints, col.coverTimes, len(gt.pairs)),
+							firstBug:       firstBugOf(col),
 						}, nil
 					},
 				})
 			}
+			results = fleet.Run(ctx, cells, fleet.Options{Workers: opts.Workers})
 		}
-		results := fleet.Run(ctx, cells, fleet.Options{Workers: opts.Workers})
 
 		// Merge barrier: fold cells into the report in deterministic
 		// cell order.
@@ -500,6 +710,10 @@ func RunContext(ctx context.Context, opts Options) *Report {
 			}
 			tr.Replays += c.replays
 			tr.ReplayFailures += c.replayFailures
+			tr.Allocated += c.allocated
+			if c.firstBug > 0 {
+				ttfbTimes[ids[i].slot] = append(ttfbTimes[ids[i].slot], float64(c.firstBug))
+			}
 			rep.Violations = append(rep.Violations, c.violations...)
 			for j, f := range c.coverage {
 				tr.Coverage[j] += f
@@ -537,13 +751,15 @@ func RunContext(ctx context.Context, opts Options) *Report {
 		}
 	}
 
-	// Normalize coverage sums into means.
+	// Normalize coverage sums into means, and fold first-bug times into
+	// the shared TTFB summary.
 	for si := range rep.Tools {
 		if n := coverSamples[si]; n > 0 {
 			for j := range rep.Tools[si].Coverage {
 				rep.Tools[si].Coverage[j] = rep.Tools[si].Coverage[j] / float64(n) * 100
 			}
 		}
+		rep.Tools[si].TTFB = NewTTFB(ttfbTimes[si])
 	}
 	if t := opts.Telemetry; t != nil {
 		for _, v := range rep.Violations {

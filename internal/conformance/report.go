@@ -3,7 +3,38 @@ package conformance
 import (
 	"fmt"
 	"strings"
+
+	"rff/internal/stats"
 )
+
+// TTFB summarizes time-to-first-bug, in executions, across the cells
+// that found a bug. It is the report schema shared by the conformance
+// harness and the sched-eval budget-policy evaluation: both express
+// "how fast does this configuration reach its first failure" as the
+// same three numbers.
+type TTFB struct {
+	// Samples is the number of cells that found a bug; zero means the
+	// Mean and Median carry no information.
+	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean"`
+	Median  float64 `json:"median"`
+}
+
+// NewTTFB folds first-bug execution indexes into the shared summary.
+func NewTTFB(times []float64) TTFB {
+	if len(times) == 0 {
+		return TTFB{}
+	}
+	return TTFB{Samples: len(times), Mean: stats.Mean(times), Median: stats.Median(times)}
+}
+
+// String renders the summary compactly ("median 41 (n=12)" or "-").
+func (t TTFB) String() string {
+	if t.Samples == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", t.Median)
+}
 
 // ToolReport aggregates one strategy's results across every checked
 // program.
@@ -26,6 +57,12 @@ type ToolReport struct {
 	// covered by Report.Checkpoints[i] schedules, averaged over every
 	// (program, trial).
 	Coverage []float64 `json:"coverage_pct"`
+	// TTFB summarizes time-to-first-bug in executions across the cells
+	// that found a bug.
+	TTFB TTFB `json:"ttfb"`
+	// Allocated is the total execution budget granted to this tool's
+	// cells by the adaptive allocator; zero under fixed budgets.
+	Allocated int64 `json:"allocated,omitempty"`
 }
 
 // Report is the outcome of one conformance run.
@@ -36,6 +73,10 @@ type Report struct {
 	Budget   int    `json:"budget"`
 	GTBudget int    `json:"gt_budget"`
 	Trials   int    `json:"trials"`
+	// BudgetPolicy names the adaptive allocation policy the run used;
+	// empty means the classic fixed per-cell budget.
+	BudgetPolicy string `json:"budget_policy,omitempty"`
+	BudgetEpochs int    `json:"budget_epochs,omitempty"`
 	// Programs counts checked programs; Skipped the candidates whose
 	// decision tree did not enumerate within GTBudget.
 	Programs int `json:"programs"`
@@ -68,11 +109,14 @@ func (r *Report) Summary() string {
 	}
 	fmt.Fprintf(&b, "conformance: seed %d, grammar %s, %d programs checked (%d skipped), budget %d, gt-budget %d\n",
 		r.Seed, grammar, r.Programs, r.Skipped, r.Budget, r.GTBudget)
+	if r.BudgetPolicy != "" {
+		fmt.Fprintf(&b, "budget policy: %s (%d epochs)\n", r.BudgetPolicy, r.BudgetEpochs)
+	}
 	fmt.Fprintf(&b, "ground truth: %d executions enumerated; %d rf-pairs, %d failure behaviors, %d final states\n",
 		r.GTExecutions, r.GTPairs, r.GTFailures, r.GTFinals)
 	if len(r.Checkpoints) > 0 {
-		fmt.Fprintf(&b, "%-18s %7s %9s %5s %8s %9s %s\n",
-			"tool", "trials", "execs", "bugs", "replays", "replay-ok", fmt.Sprintf("rf-coverage%%@%d", r.Checkpoints[len(r.Checkpoints)-1]))
+		fmt.Fprintf(&b, "%-18s %7s %9s %5s %8s %8s %9s %s\n",
+			"tool", "trials", "execs", "bugs", "ttfb-med", "replays", "replay-ok", fmt.Sprintf("rf-coverage%%@%d", r.Checkpoints[len(r.Checkpoints)-1]))
 	}
 	for _, t := range r.Tools {
 		cov := 0.0
@@ -80,8 +124,8 @@ func (r *Report) Summary() string {
 			cov = t.Coverage[len(t.Coverage)-1]
 		}
 		ok := t.Replays - t.ReplayFailures
-		fmt.Fprintf(&b, "%-18s %7d %9d %5d %8d %9d %.1f\n",
-			t.Tool, t.TrialsRun, t.Executions, t.BugsFound, t.Replays, ok, cov)
+		fmt.Fprintf(&b, "%-18s %7d %9d %5d %8s %8d %9d %.1f\n",
+			t.Tool, t.TrialsRun, t.Executions, t.BugsFound, t.TTFB.String(), t.Replays, ok, cov)
 	}
 	switch {
 	case len(r.Violations) == 0:

@@ -1,0 +1,106 @@
+package schedeval
+
+import (
+	"fmt"
+	"strings"
+
+	"rff/internal/conformance"
+)
+
+// PolicyReport is one budget policy's aggregated distributions and its
+// comparison against the uniform baseline.
+type PolicyReport struct {
+	Policy string `json:"policy"`
+	// Pool and Spent sum the per-seed campaign entitlements and actual
+	// executions.
+	Pool  int64 `json:"pool"`
+	Spent int64 `json:"spent"`
+	// Reallocations counts epoch shares that differed from the cell's
+	// previous share, summed across campaigns.
+	Reallocations int `json:"reallocations"`
+	// Bugs counts (seed, cell) pairs that found a bug.
+	Bugs int `json:"bugs"`
+	// TTFB summarizes the global first-bug execution indexes — the
+	// schema shared with the conformance report.
+	TTFB conformance.TTFB `json:"ttfb"`
+	// CoverageMean is the mean final ground-truth coverage per cell, in
+	// percent. Coverage[i] is the mean coverage at Report.Checkpoints[i]
+	// global executions.
+	CoverageMean float64   `json:"coverage_mean_pct"`
+	Coverage     []float64 `json:"coverage_pct"`
+	// CoverageP and TTFBP are two-sided Mann-Whitney p-values against
+	// the uniform baseline's per-cell samples (1 for the baseline
+	// itself, and for TTFB when either side found no bugs).
+	CoverageP float64 `json:"coverage_p"`
+	TTFBP     float64 `json:"ttfb_p"`
+	// WorseThanUniform is the verdict bit: uniform's final coverage is
+	// significantly better than this policy's at the run's alpha.
+	WorseThanUniform bool `json:"worse_than_uniform,omitempty"`
+}
+
+// Report is the outcome of one sched-eval run.
+type Report struct {
+	Seeds    []int64  `json:"seeds"`
+	Programs int      `json:"programs"`
+	Specs    []string `json:"specs"`
+	Budget   int      `json:"budget"`
+	Epochs   int      `json:"epochs"`
+	Trials   int      `json:"trials"`
+	Grammar  string   `json:"grammar"`
+	Alpha    float64  `json:"alpha"`
+	// Checked counts (seed, program) pairs evaluated; Skipped the
+	// candidates whose ground truth did not enumerate.
+	Checked int `json:"checked"`
+	Skipped int `json:"skipped"`
+	// Checkpoints are the global execution counts the coverage curves
+	// sample (powers of two up to the campaign pool).
+	Checkpoints []int `json:"checkpoints"`
+	// Policies holds one entry per policy, uniform first.
+	Policies []PolicyReport `json:"policies"`
+	// Verdict is "pass" or a FAIL: line naming the losing policy.
+	Verdict string `json:"verdict"`
+	// Err records an aborted run.
+	Err string `json:"error,omitempty"`
+}
+
+// OK reports whether the run completed and every assertion held.
+func (r *Report) OK() bool { return r.Err == "" && r.Verdict == "pass" }
+
+// Summary renders the deterministic human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched-eval: seeds %v, %d programs/seed (%d checked, %d skipped), grammar %s\n",
+		r.Seeds, r.Programs, r.Checked, r.Skipped, r.Grammar)
+	fmt.Fprintf(&b, "matrix: %s; budget %d x %d epochs, %d trials, alpha %.2f\n",
+		strings.Join(r.Specs, ","), r.Budget, r.Epochs, r.Trials, r.Alpha)
+	fmt.Fprintf(&b, "%-12s %10s %10s %7s %5s %9s %7s %8s %8s\n",
+		"policy", "pool", "spent", "realloc", "bugs", "ttfb-med", "cov%", "cov-p", "ttfb-p")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "%-12s %10d %10d %7d %5d %9s %7.1f %8.4f %8.4f\n",
+			p.Policy, p.Pool, p.Spent, p.Reallocations, p.Bugs,
+			p.TTFB.String(), p.CoverageMean, p.CoverageP, p.TTFBP)
+	}
+	fmt.Fprintf(&b, "verdict: %s\n", r.Verdict)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", r.Err)
+	}
+	return b.String()
+}
+
+// CoverageCurves renders the per-policy coverage-vs-executions series.
+func (r *Report) CoverageCurves() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "executions")
+	for _, cp := range r.Checkpoints {
+		fmt.Fprintf(&b, " %8d", cp)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "%-12s", p.Policy)
+		for _, c := range p.Coverage {
+			fmt.Fprintf(&b, " %8.1f", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package schedeval
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rff/internal/conformance"
+)
+
+// smallOpts is a PR-sized sched-eval: a few programs, two specs, the
+// uniform baseline against one adaptive policy.
+func smallOpts(seed int64) Options {
+	return Options{
+		Programs: 3,
+		Seeds:    []int64{seed},
+		Specs:    []string{"rff", "pos"},
+		Policies: []string{"uniform", "ucb"},
+		Budget:   150,
+		Epochs:   4,
+	}
+}
+
+// TestSmallRun: the harness completes, scores coverage against ground
+// truth, and produces the uniform-first policy table.
+func TestSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sched-eval runs full campaigns")
+	}
+	rep := Run(smallOpts(1))
+	if rep.Err != "" {
+		t.Fatalf("run aborted: %s", rep.Err)
+	}
+	if rep.Checked != 3 {
+		t.Fatalf("checked %d programs, want 3", rep.Checked)
+	}
+	if len(rep.Policies) != 2 || rep.Policies[0].Policy != "uniform" || rep.Policies[1].Policy != "ucb" {
+		t.Fatalf("policy table wrong: %+v", rep.Policies)
+	}
+	if len(rep.Checkpoints) == 0 {
+		t.Fatal("no coverage checkpoints")
+	}
+	for _, p := range rep.Policies {
+		if p.Spent == 0 || p.Pool == 0 {
+			t.Fatalf("policy %s: no executions accounted", p.Policy)
+		}
+		if p.Spent > p.Pool {
+			t.Fatalf("policy %s: spent %d > pool %d", p.Policy, p.Spent, p.Pool)
+		}
+		if p.CoverageMean <= 0 || p.CoverageMean > 100 {
+			t.Fatalf("policy %s: implausible mean coverage %.1f%%", p.Policy, p.CoverageMean)
+		}
+		if len(p.Coverage) != len(rep.Checkpoints) {
+			t.Fatalf("policy %s: curve length %d, checkpoints %d", p.Policy, len(p.Coverage), len(rep.Checkpoints))
+		}
+		for j := 1; j < len(p.Coverage); j++ {
+			if p.Coverage[j] < p.Coverage[j-1] {
+				t.Fatalf("policy %s: coverage curve not monotone: %v", p.Policy, p.Coverage)
+			}
+		}
+	}
+	if rep.Policies[0].CoverageP != 1 {
+		t.Fatalf("baseline p-value %v, want 1", rep.Policies[0].CoverageP)
+	}
+	if p := rep.Policies[1].CoverageP; p <= 0 || p > 1 {
+		t.Fatalf("ucb coverage p-value %v out of range", p)
+	}
+	if rep.Summary() == "" || rep.CoverageCurves() == "" {
+		t.Fatal("empty rendered report")
+	}
+}
+
+// TestDeterministic: identical options give byte-identical reports and
+// the worker count changes nothing — the property the CI smoke job
+// asserts with cmp(1).
+func TestDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sched-eval runs full campaigns")
+	}
+	opts := smallOpts(2)
+	opts.Programs = 2
+	a := Run(opts)
+	b := Run(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical runs diverged:\n%s\nvs\n%s", mustJSON(a), mustJSON(b))
+	}
+	opts.Workers = 4
+	c := Run(opts)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("worker count changed the report:\n%s\nvs\n%s", mustJSON(a), mustJSON(c))
+	}
+	if a.Summary() != b.Summary() || a.CoverageCurves() != b.CoverageCurves() {
+		t.Fatal("rendered reports diverged between identical runs")
+	}
+}
+
+// TestUniformNotWorseThanItself: comparing uniform against a second
+// adaptive policy must never flag the baseline, and a clean run passes
+// its own verdict.
+func TestVerdictPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sched-eval runs full campaigns")
+	}
+	rep := Run(smallOpts(3))
+	if rep.Err != "" {
+		t.Fatalf("run aborted: %s", rep.Err)
+	}
+	if rep.Policies[0].WorseThanUniform {
+		t.Fatal("baseline flagged as worse than itself")
+	}
+	if !rep.OK() && rep.Policies[1].CoverageP >= rep.Alpha {
+		t.Fatalf("verdict failed without significance: %s", rep.Verdict)
+	}
+}
+
+// TestDefaults: fill() produces the documented defaults and forces the
+// uniform baseline to the front.
+func TestDefaults(t *testing.T) {
+	o := Options{Policies: []string{"ucb", "uniform", "fox"}}
+	o.fill()
+	if o.Programs != 12 || o.Budget != 300 || o.Alpha != 0.05 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if !reflect.DeepEqual(o.Policies, []string{"uniform", "ucb", "fox"}) {
+		t.Fatalf("uniform not fronted: %v", o.Policies)
+	}
+	var d Options
+	d.fill()
+	if d.Policies[0] != "uniform" || len(d.Policies) < 2 {
+		t.Fatalf("default policy set wrong: %v", d.Policies)
+	}
+}
+
+// TestUnknownPolicyPanics: fill() rejects unknown policies loudly.
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy did not panic")
+		}
+	}()
+	o := Options{Policies: []string{"uniform", "bogus"}}
+	o.fill()
+}
+
+func mustJSON(v any) string {
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestVerdictTTFB pins the -assert-ttfb semantics on synthetic
+// reports: a tie passes (epoch 1 is allocated identically by every
+// policy, so shallow workloads tie at the floor), strictly worse
+// fails, strictly better passes, and a side without bugs fails.
+func TestVerdictTTFB(t *testing.T) {
+	mk := func(medians ...float64) *Report {
+		rep := &Report{}
+		for i, m := range medians {
+			pr := PolicyReport{Policy: "uniform"}
+			if i > 0 {
+				pr.Policy = "ucb"
+			}
+			if m > 0 {
+				pr.TTFB = conformance.TTFB{Samples: 1, Mean: m, Median: m}
+			}
+			rep.Policies = append(rep.Policies, pr)
+		}
+		return rep
+	}
+	opts := Options{AssertTTFB: true}
+	cases := []struct {
+		rep  *Report
+		pass bool
+	}{
+		{mk(1.0, 1.0), true},  // tie at the floor
+		{mk(5.0, 3.0), true},  // adaptive strictly better
+		{mk(3.0, 5.0), false}, // adaptive strictly worse
+		{mk(3.0, 0), false},   // adaptive found no bugs
+		{mk(0, 3.0), false},   // uniform found no bugs
+	}
+	for i, c := range cases {
+		got := verdict(c.rep, opts)
+		if (got == "pass") != c.pass {
+			t.Errorf("case %d: verdict %q, want pass=%v", i, got, c.pass)
+		}
+	}
+}

@@ -168,6 +168,10 @@ type CampaignResult struct {
 	Artifacts []ArtifactRef `json:"artifacts,omitempty"`
 	// BugsFound counts (tool, program, trial) cells that exposed a bug.
 	BugsFound int `json:"bugs_found"`
+	// BudgetReport records the adaptive allocator's accounting when the
+	// request set budget_policy: the allocation trace, per-cell spend,
+	// and reallocation count. Nil for fixed-budget campaigns.
+	BudgetReport *campaign.BudgetReport `json:"budget_report,omitempty"`
 }
 
 // EncodeResult renders the canonical report bytes that get stored (and

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rff/internal/bench"
+	"rff/internal/budget"
 	"rff/internal/progen"
 	"rff/internal/store"
 	"rff/internal/strategy"
@@ -35,6 +36,9 @@ const (
 	MaxProgenCount = 64
 	// MaxShards bounds worker shards per RFF trial.
 	MaxShards = 64
+	// MaxBudgetEpochs bounds allocation epochs under an adaptive budget
+	// policy.
+	MaxBudgetEpochs = 64
 )
 
 // CampaignRequest is the submission body of POST /v1/campaigns: which
@@ -73,6 +77,16 @@ type CampaignRequest struct {
 	// deterministic) algorithm whose reports differ from the sequential
 	// loop's, so Shards stays in the cache key.
 	Shards int `json:"shards,omitempty"`
+	// BudgetPolicy, when non-empty, runs the campaign under the adaptive
+	// budget allocator (internal/budget): the matrix's per-cell budgets
+	// become a shared pool reallocated across epochs by per-cell reward.
+	// Like Shards, the policy changes the computation (and its report),
+	// so it stays in the cache key. Mutually exclusive with Shards.
+	BudgetPolicy string `json:"budget_policy,omitempty"`
+	// BudgetEpochs is the allocation epoch count under BudgetPolicy
+	// (default budget.DefaultEpochs; must be 0 when BudgetPolicy is
+	// empty).
+	BudgetEpochs int `json:"budget_epochs,omitempty"`
 }
 
 // Canonicalize validates the request at the API boundary and returns
@@ -144,6 +158,25 @@ func (r CampaignRequest) Canonicalize() (CampaignRequest, error) {
 	}
 	if c.Shards < 0 || c.Shards > MaxShards {
 		return c, fmt.Errorf("shards %d out of range [0, %d]", c.Shards, MaxShards)
+	}
+	if c.BudgetPolicy == "" {
+		if c.BudgetEpochs != 0 {
+			return c, fmt.Errorf("budget_epochs requires budget_policy")
+		}
+	} else {
+		if c.Shards >= 1 {
+			return c, fmt.Errorf("budget_policy and shards are mutually exclusive: the shard runner's observer sees only failures, so sharded cells earn no coverage reward")
+		}
+		if c.BudgetEpochs == 0 {
+			c.BudgetEpochs = budget.DefaultEpochs
+		}
+		if c.BudgetEpochs > MaxBudgetEpochs {
+			return c, fmt.Errorf("budget_epochs %d out of range [1, %d]", c.BudgetEpochs, MaxBudgetEpochs)
+		}
+		bc := budget.Config{Policy: c.BudgetPolicy, Epochs: c.BudgetEpochs}
+		if err := bc.Validate(); err != nil {
+			return c, err
+		}
 	}
 	return c, nil
 }

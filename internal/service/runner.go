@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"rff/internal/budget"
 	"rff/internal/campaign"
 	"rff/internal/core"
 	"rff/internal/exec"
@@ -69,14 +70,18 @@ func (s *Server) runJob(ctx context.Context, j *Job) (*store.Entry, error) {
 		tools[i] = tl
 	}
 
-	m := campaign.RunMatrixContext(ctx, tools, programs, campaign.MatrixOptions{
+	opts := campaign.MatrixOptions{
 		Trials:    req.Trials,
 		Budget:    req.Budget,
 		MaxSteps:  req.MaxSteps,
 		BaseSeed:  req.Seed,
 		Workers:   req.Workers,
 		Telemetry: sink,
-	})
+	}
+	if req.BudgetPolicy != "" {
+		opts.Budgeter = &budget.Config{Policy: req.BudgetPolicy, Epochs: req.BudgetEpochs}
+	}
+	m := campaign.RunMatrixContext(ctx, tools, programs, opts)
 	if err := ctx.Err(); err != nil {
 		// A cancelled matrix is a checkpoint, not a result: don't cache
 		// partial outcomes under the campaign's key.
@@ -85,11 +90,12 @@ func (s *Server) runJob(ctx context.Context, j *Job) (*store.Entry, error) {
 
 	// Assemble and persist the deterministic result.
 	res := &CampaignResult{
-		Request:  json.RawMessage(j.CanonJSON),
-		Tools:    m.Tools,
-		Programs: m.Programs,
-		Budget:   m.Budget,
-		Outcomes: m.Outcomes,
+		Request:      json.RawMessage(j.CanonJSON),
+		Tools:        m.Tools,
+		Programs:     m.Programs,
+		Budget:       m.Budget,
+		Outcomes:     m.Outcomes,
+		BudgetReport: m.BudgetReport,
 	}
 	for _, tool := range m.Tools {
 		for _, p := range m.Programs {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"rff/internal/budget"
 	"rff/internal/core"
 	"rff/internal/exec"
 	"rff/internal/sched"
@@ -785,4 +786,91 @@ func TestClustersUnavailableWithoutTriage(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	getBody(t, ts, "/v1/clusters", 503)
 	getBody(t, ts, "/v1/clusters/c-000000000000", 503)
+}
+
+// TestBudgetedCampaign runs a campaign under an adaptive budget policy:
+// the stored report must carry the allocator's accounting, the policy
+// must be part of the cache key (same campaign under a different policy
+// misses), and invalid budget requests must be rejected at Submit.
+func TestBudgetedCampaign(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	req := CampaignRequest{
+		Program:      "CS/account",
+		Tools:        []string{"rff", "random"},
+		Budget:       500,
+		Trials:       2,
+		Seed:         7,
+		BudgetPolicy: "ucb",
+		BudgetEpochs: 4,
+	}
+	v := submit(t, ts, req)
+	done := waitTerminal(t, ts, v.ID)
+	if done.State != JobDone {
+		t.Fatalf("job state %q (error %q)", done.State, done.Error)
+	}
+	if done.Request.BudgetPolicy != "ucb" || done.Request.BudgetEpochs != 4 {
+		t.Fatalf("canonical request lost the budget config: %+v", done.Request)
+	}
+
+	var res CampaignResult
+	if err := json.Unmarshal(getBody(t, ts, "/v1/jobs/"+v.ID+"/report", 200), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetReport == nil {
+		t.Fatal("budgeted campaign's report has no budget_report")
+	}
+	br := res.BudgetReport
+	// Epochs in the report is the count actually executed — the
+	// allocator stops early once every cell is done.
+	if br.Policy != "ucb" || br.Epochs < 1 || br.Epochs > 4 {
+		t.Fatalf("budget report policy/epochs = %s/%d, want ucb/1..4", br.Policy, br.Epochs)
+	}
+	if len(br.Cells) != len(res.Tools)*len(res.Programs) {
+		t.Fatalf("budget report has %d cells, want %d", len(br.Cells), len(res.Tools)*len(res.Programs))
+	}
+	if br.Spent <= 0 || br.Spent > br.Pool {
+		t.Fatalf("budget report spent %d of pool %d", br.Spent, br.Pool)
+	}
+
+	// Same campaign, different policy: a distinct computation, so a
+	// cache miss. Epochs default when omitted.
+	req2 := req
+	req2.BudgetPolicy = "eps-greedy"
+	req2.BudgetEpochs = 0
+	v2 := submit(t, ts, req2)
+	if v2.CacheHit {
+		t.Fatal("different budget policy hit the cache")
+	}
+	done2 := waitTerminal(t, ts, v2.ID)
+	if done2.State != JobDone {
+		t.Fatalf("second job state %q (error %q)", done2.State, done2.Error)
+	}
+	if done2.Request.BudgetEpochs != budget.DefaultEpochs {
+		t.Fatalf("budget_epochs defaulted to %d, want %d", done2.Request.BudgetEpochs, budget.DefaultEpochs)
+	}
+
+	// Identical budgeted re-submission: a hit.
+	again := submit(t, ts, req)
+	if !again.CacheHit {
+		t.Fatal("identical budgeted re-submission did not hit the cache")
+	}
+
+	// Invalid budget configurations are rejected at the API boundary.
+	bad := []string{
+		`{"program":"CS/account","budget_policy":"warp-drive"}`,               // unknown policy
+		`{"program":"CS/account","budget_epochs":4}`,                          // epochs without policy
+		`{"program":"CS/account","budget_policy":"ucb","shards":2}`,           // budgeted + sharded
+		`{"program":"CS/account","budget_policy":"ucb","budget_epochs":1000}`, // epochs over cap
+	}
+	for _, body := range bad {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
 }

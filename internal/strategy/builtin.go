@@ -160,13 +160,14 @@ func init() {
 			}
 			return campaign.SystematicTool{
 				ToolName: name,
-				Explore: func(ctx context.Context, p bench.Program, budget, maxSteps int) campaign.Outcome {
+				Observer: cfg.Observer,
+				Explore: func(ctx context.Context, p bench.Program, budget, maxSteps int, obs campaign.ResultObserver) campaign.Outcome {
 					rep := systematic.ICBContext(ctx, p.Name, p.Body, systematic.ICBOptions{
 						MaxExecutions:  budget,
 						MaxSteps:       maxSteps,
 						MaxBound:       bound,
 						StopAtFirstBug: true,
-						OnExecution:    cfg.Observer,
+						OnExecution:    obs,
 					})
 					return systematicOutcome(ctx, rep.FirstBug, rep.Executions, budget)
 				},
@@ -181,12 +182,13 @@ func init() {
 		Factory: func(_ Spec, cfg Config) (campaign.Tool, error) {
 			return campaign.SystematicTool{
 				ToolName: "GenMC*",
-				Explore: func(ctx context.Context, p bench.Program, budget, maxSteps int) campaign.Outcome {
+				Observer: cfg.Observer,
+				Explore: func(ctx context.Context, p bench.Program, budget, maxSteps int, obs campaign.ResultObserver) campaign.Outcome {
 					rep := systematic.ExploreContext(ctx, p.Name, p.Body, systematic.ExploreOptions{
 						MaxExecutions:  budget,
 						MaxSteps:       maxSteps,
 						StopAtFirstBug: true,
-						OnExecution:    cfg.Observer,
+						OnExecution:    obs,
 					})
 					return systematicOutcome(ctx, rep.FirstBug, rep.Executions, budget)
 				},

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rff/internal/bench"
+	"rff/internal/budget"
 	"rff/internal/campaign"
 	"rff/internal/telemetry"
 )
@@ -132,6 +133,14 @@ type Config struct {
 	// ShardFast drops the sharded runner's epoch barrier — fast but
 	// nondeterministic. Only meaningful with Shards >= 1.
 	ShardFast bool
+	// Budgeter, when non-nil with a non-empty Policy, runs the matrix
+	// under adaptive budget scheduling (internal/budget): the total
+	// execution pool is reallocated across (tool, program) cells at
+	// epoch barriers by the named policy. Like Shards it changes
+	// results and participates in cache identity. RunMatrix validates
+	// it; the two are mutually exclusive (the sharded runner's observer
+	// sees only failures, which would starve the reward signal).
+	Budgeter *budget.Config
 }
 
 // Factory builds a configured tool from a normalized spec.
@@ -326,6 +335,14 @@ func RunMatrix(ctx context.Context, specs []string, programs []bench.Program, cf
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Budgeter != nil && cfg.Budgeter.Policy != "" {
+		if err := cfg.Budgeter.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Shards >= 1 {
+			return nil, fmt.Errorf("budget policy %q cannot be combined with sharded trials: the shard runner's observer sees only failing executions, so budget cells would earn no coverage reward", cfg.Budgeter.Policy)
+		}
+	}
 	return campaign.RunMatrixContext(ctx, tools, programs, campaign.MatrixOptions{
 		Trials:       cfg.Trials,
 		Budget:       cfg.Budget,
@@ -335,5 +352,6 @@ func RunMatrix(ctx context.Context, specs []string, programs []bench.Program, cf
 		TrialTimeout: cfg.TrialTimeout,
 		Progress:     cfg.Progress,
 		Telemetry:    cfg.Telemetry,
+		Budgeter:     cfg.Budgeter,
 	}), nil
 }

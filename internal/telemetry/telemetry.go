@@ -131,6 +131,17 @@ const (
 	// MTriageDedupHits counts artifacts that triage recognized as
 	// already-ingested content or as members of an existing cluster.
 	MTriageDedupHits = "triage_dedup_hits"
+	// MBudgetEpochs counts adaptive-budget allocation barriers run by a
+	// budgeted campaign matrix.
+	MBudgetEpochs = "budget_epochs"
+	// MBudgetReallocations counts cells whose epoch share differed from
+	// their previous-epoch share — how much the policy actually moved
+	// budget around.
+	MBudgetReallocations = "budget_reallocations"
+	// MBudgetShare is a gauge set at campaign end: the percent of the
+	// matrix's spent executions each {tool, program} cell received,
+	// 0-100.
+	MBudgetShare = "budget_share_pct"
 )
 
 // Event kinds emitted by the built-in instrumentation points.
@@ -162,6 +173,11 @@ const (
 	// of a deterministic sharded campaign is identical at every shard
 	// count.
 	EvEpochMerge = "epoch-merge"
+	// EvBudgetEpoch fires after every adaptive-budget allocation barrier
+	// with the epoch index, pool, per-epoch executions, new pairs, and
+	// live cell count. All fields are deterministic, so the budgeted
+	// event stream is identical at every worker count.
+	EvBudgetEpoch = "budget-epoch"
 )
 
 // Hub is the standard Sink implementation: a metrics Registry plus an
